@@ -1,0 +1,48 @@
+"""Benchmark harness plumbing.
+
+Every experiment Ei gets one pytest-benchmark target that (a) regenerates
+the paper artifact's rows/series, (b) writes the report to
+``benchmarks/results/Ei.txt``, and (c) asserts the reproduction's shape
+claims.  Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — workload scale factor (default 1.0),
+* ``REPRO_BENCH_SMS``   — simulated SM count (default 2).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.sim.config import scaled_fermi
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_config(**overrides):
+    num_sms = int(os.environ.get("REPRO_BENCH_SMS", "2"))
+    return scaled_fermi(num_sms=num_sms, **overrides)
+
+
+@pytest.fixture
+def report_sink():
+    """Write an experiment report to benchmarks/results/ and echo it."""
+
+    def sink(experiment_id: str, report: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{experiment_id}.txt"
+        path.write_text(report + "\n")
+        print(f"\n{report}\n[report written to {path}]")
+
+    return sink
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

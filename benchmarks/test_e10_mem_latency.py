@@ -1,0 +1,20 @@
+"""E10 — sensitivity: VT gain vs DRAM latency.
+
+Paper claim reproduced: VT's benefit grows with memory latency — the
+longer the stalls, the more an extra pool of ready CTAs is worth.
+"""
+
+from conftest import bench_config, bench_scale, run_once
+
+from repro.analysis.experiments import e10_mem_latency
+
+
+def test_e10_mem_latency(benchmark, report_sink):
+    report, data = run_once(
+        benchmark, lambda: e10_mem_latency(bench_config(), scale=bench_scale())
+    )
+    report_sink("E10", report)
+    geomeans = [data[lat]["geomean"] for lat in (200, 400, 600, 800)]
+    # Strictly positive gain everywhere, growing with latency overall.
+    assert all(gm > 1.05 for gm in geomeans)
+    assert geomeans[-1] > geomeans[0]

@@ -1,0 +1,22 @@
+"""E11 — hardware-overhead table.
+
+Paper claim reproduced: the state VT moves on a context switch (PCs,
+SIMT stacks, barrier bits) is small next to the register file and shared
+memory that stay in place — that asymmetry is the whole mechanism.
+"""
+
+from conftest import bench_config, run_once
+
+from repro.analysis.experiments import e11_overhead
+
+
+def test_e11_overhead(benchmark, report_sink):
+    report, data = run_once(benchmark, lambda: e11_overhead(bench_config()))
+    report_sink("E11", report)
+    overhead = data["overhead"]
+    # Backup SRAM for 4x CTA virtualization stays well under the
+    # capacity it virtualizes.
+    assert overhead.overhead_fraction < 0.20
+    assert overhead.backup_bytes < overhead.shared_mem_bytes
+    # Per-warp scheduling state is hundreds of bits, not kilobytes.
+    assert overhead.per_warp_bits < 4096

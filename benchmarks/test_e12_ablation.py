@@ -1,0 +1,31 @@
+"""E12 — ablation: swap-trigger and incoming-selection policies.
+
+Design-choice check called out in DESIGN.md: the paper's all-stalled /
+oldest-ready combination is competitive; hysteresis (timeout) trades a
+few swaps for a little performance; an eager majority trigger swaps away
+runnable warps.
+"""
+
+from conftest import bench_config, bench_scale, run_once
+
+from repro.analysis.experiments import e12_ablation
+
+PAPER = "all-stalled / oldest-ready (paper)"
+
+
+def test_e12_ablation(benchmark, report_sink):
+    report, data = run_once(
+        benchmark, lambda: e12_ablation(bench_config(), scale=bench_scale())
+    )
+    report_sink("E12", report)
+    assert data[PAPER]["geomean"] > 1.1
+    # The paper's trigger is within a few percent of every variant.
+    best = max(row["geomean"] for row in data.values())
+    assert data[PAPER]["geomean"] > best * 0.93
+    # Every variant is a viable design point — the mechanism, not the
+    # policy detail, carries the gain.
+    for label, row in data.items():
+        assert row["geomean"] > 1.1, label
+    # The eager majority trigger swaps at least as often as the paper's.
+    majority = data["majority-stalled / oldest-ready"]
+    assert majority["swaps"] >= data[PAPER]["swaps"]

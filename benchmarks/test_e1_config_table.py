@@ -1,0 +1,16 @@
+"""E1 — Table 1: the simulated GPU configuration."""
+
+from conftest import bench_config, run_once
+
+from repro.analysis.experiments import e1_config_table
+
+
+def test_e1_config_table(benchmark, report_sink):
+    report, data = run_once(benchmark, lambda: e1_config_table(bench_config()))
+    report_sink("E1", report)
+    cfg = data["config"]
+    # Fermi-class scheduling and capacity limits (the paper's baseline).
+    assert cfg.max_warps_per_sm == 48
+    assert cfg.max_ctas_per_sm == 8
+    assert cfg.registers_per_sm * 4 == 128 * 1024
+    assert cfg.smem_per_sm == 48 * 1024

@@ -1,0 +1,23 @@
+"""E2 — Table 2: benchmark suite and limiter classification.
+
+Paper claim reproduced: *most* general-purpose kernels are scheduling-
+limited — their register/shared-memory footprint would admit more CTAs
+than the scheduling structures allow.
+"""
+
+from conftest import bench_config, run_once
+
+from repro.analysis.experiments import e2_benchmark_table
+from repro.core.occupancy import LimiterClass
+
+
+def test_e2_benchmark_table(benchmark, report_sink):
+    report, data = run_once(benchmark, lambda: e2_benchmark_table(bench_config()))
+    report_sink("E2", report)
+    limiters = [occ.limiter for occ in data.values()]
+    scheduling = sum(1 for lim in limiters if lim is LimiterClass.SCHEDULING)
+    capacity = sum(1 for lim in limiters if lim is LimiterClass.CAPACITY)
+    # The paper's observation: the scheduling limit dominates in practice.
+    assert scheduling > len(limiters) / 2
+    # But the suite includes capacity-limited counterexamples.
+    assert capacity >= 2

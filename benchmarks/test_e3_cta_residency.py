@@ -1,0 +1,17 @@
+"""E3 — motivation figure: CTAs/SM at the scheduling vs capacity limit."""
+
+from conftest import bench_config, run_once
+
+from repro.analysis.experiments import e3_cta_residency
+
+
+def test_e3_cta_residency(benchmark, report_sink):
+    report, headroom = run_once(benchmark, lambda: e3_cta_residency(bench_config()))
+    report_sink("E3", report)
+    # Scheduling-limited kernels leave >=2x CTA capacity idle ...
+    assert headroom["stride"] >= 2.0
+    assert headroom["bfs"] >= 2.0
+    assert headroom["hotspot"] >= 2.0
+    # ... while capacity-limited kernels have no headroom at all.
+    assert headroom["mm_tiled"] == 1.0
+    assert headroom["regheavy"] == 1.0

@@ -1,0 +1,26 @@
+"""E4 — motivation figure: baseline idle-cycle breakdown.
+
+Paper claim reproduced: on scheduling-limited, memory-intensive kernels
+the baseline SM spends a large fraction of cycles with zero issuable
+warps because of long-latency memory stalls.
+"""
+
+from conftest import bench_config, bench_scale, run_once
+
+from repro.analysis.experiments import e4_idle_cycles
+
+
+def test_e4_idle_cycles(benchmark, report_sink):
+    report, data = run_once(
+        benchmark, lambda: e4_idle_cycles(bench_config(), scale=bench_scale())
+    )
+    report_sink("E4", report)
+    # Latency-class kernels starve on memory in the baseline.
+    assert data["stride"]["mem"] > 0.25
+    assert data["streamcluster"]["mem"] > 0.2
+    # Compute-bound kernels do not.
+    assert data["mm_tiled"]["mem"] < 0.15
+    # Every breakdown is a valid distribution.
+    for name, breakdown in data.items():
+        total = sum(breakdown.values())
+        assert abs(total - 1.0) < 1e-9, name

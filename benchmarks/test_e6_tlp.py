@@ -1,0 +1,26 @@
+"""E6 — TLP figure: resident warps/CTAs, baseline vs Virtual Thread.
+
+Paper claim reproduced: VT multiplies *resident* parallelism on
+scheduling-limited kernels while the *active* set still respects the
+scheduling limit.
+"""
+
+from conftest import bench_config, bench_scale, run_once
+
+from repro.analysis.experiments import e6_tlp
+
+
+def test_e6_tlp(benchmark, report_sink):
+    report, data = run_once(
+        benchmark, lambda: e6_tlp(bench_config(), scale=bench_scale())
+    )
+    report_sink("E6", report)
+    # Scheduling-limited kernels: VT keeps ~2-4x more warps resident.
+    assert data["stride"]["vt_warps"] > data["stride"]["base_warps"] * 1.8
+    assert data["btree"]["vt_warps"] > data["btree"]["base_warps"] * 1.3
+    assert data["bfs"]["vt_warps"] > data["bfs"]["base_warps"] * 1.05
+    # Active CTAs never exceed the scheduling limit of 8.
+    for name, row in data.items():
+        assert row["vt_active_ctas"] <= 8.0 + 1e-6, name
+    # Capacity-limited kernels cannot gain residency.
+    assert abs(data["regheavy"]["vt_ctas"] - data["regheavy"]["base_ctas"]) < 0.3

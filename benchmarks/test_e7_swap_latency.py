@@ -1,0 +1,28 @@
+"""E7 — sensitivity: VT speedup vs context-switch latency.
+
+Paper claim reproduced: because only scheduling state is saved/restored,
+VT tolerates realistic swap costs; gains survive an order of magnitude of
+cost inflation and only collapse at extreme (hundreds-of-cycles) costs.
+"""
+
+from conftest import bench_config, bench_scale, run_once
+
+from repro.analysis.experiments import SWAP_LATENCY_POINTS, e7_swap_latency
+
+
+def test_e7_swap_latency(benchmark, report_sink):
+    report, data = run_once(
+        benchmark, lambda: e7_swap_latency(bench_config(), scale=bench_scale())
+    )
+    report_sink("E7", report)
+    free = data[(0, 0)]["geomean"]
+    paper_cost = data[(2, 1)]["geomean"]
+    ten_x = data[(8, 4)]["geomean"]
+    extreme = data[(128, 64)]["geomean"]
+    # The paper-cost point is within a few percent of a free switch.
+    assert paper_cost > free * 0.97
+    # Robust at ~4x the cost.
+    assert ten_x > paper_cost * 0.9
+    # Monotone degradation; extreme costs erase most of the gain.
+    assert extreme < ten_x
+    assert extreme < paper_cost

@@ -1,0 +1,26 @@
+"""E8 — sensitivity: VT speedup vs virtual-CTA provisioning.
+
+Paper claim reproduced: gains grow with the resident-CTA cap and
+saturate once capacity (not provisioning) binds; a 1x cap degenerates to
+the baseline.
+"""
+
+import pytest
+from conftest import bench_config, bench_scale, run_once
+
+from repro.analysis.experiments import e8_vcta_degree
+
+
+def test_e8_vcta_degree(benchmark, report_sink):
+    report, data = run_once(
+        benchmark, lambda: e8_vcta_degree(bench_config(), scale=bench_scale())
+    )
+    report_sink("E8", report)
+    # 1x provisioning = no virtual CTAs = baseline performance.
+    assert data[1.0]["geomean"] == pytest.approx(1.0, abs=0.02)
+    # More provisioning helps...
+    assert data[2.0]["geomean"] > data[1.0]["geomean"] + 0.03
+    # ...with diminishing returns toward the capacity limit.
+    gain_12 = data[2.0]["geomean"] - data[1.0]["geomean"]
+    gain_34 = data[4.0]["geomean"] - data[3.0]["geomean"]
+    assert gain_34 < gain_12

@@ -1,0 +1,19 @@
+"""E9 — interaction with the warp scheduler.
+
+Paper claim reproduced: VT's benefit is largely orthogonal to the warp
+scheduling policy — it adds TLP the scheduler can use, rather than
+competing with it, so every policy sees a positive geomean gain.
+"""
+
+from conftest import bench_config, bench_scale, run_once
+
+from repro.analysis.experiments import e9_schedulers
+
+
+def test_e9_schedulers(benchmark, report_sink):
+    report, data = run_once(
+        benchmark, lambda: e9_schedulers(bench_config(), scale=bench_scale())
+    )
+    report_sink("E9", report)
+    for policy in ("lrr", "gto", "two-level"):
+        assert data[policy]["geomean"] > 1.1, policy

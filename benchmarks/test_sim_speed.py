@@ -1,0 +1,29 @@
+"""Simulator-throughput benchmark (not a paper artifact).
+
+Measures simulated-cycles-per-second of the timing model itself on a
+representative kernel under each architecture, so performance regressions
+in the simulator are visible in benchmark history.  Unlike the experiment
+targets this one runs multiple rounds for a stable timing.
+"""
+
+import pytest
+from conftest import bench_config
+
+from repro.kernels import get
+from repro.sim.gpu import GPU
+
+
+def _simulate(arch):
+    bench = get("hotspot")
+    prep = bench.prepare(0.5)
+    gpu = GPU(bench_config(arch=arch))
+    result = gpu.launch(bench.kernel, prep.grid_dim, prep.gmem, prep.params)
+    return result.stats.cycles
+
+
+@pytest.mark.parametrize("arch", ["baseline", "vt", "ideal-sched"])
+def test_simulator_throughput(benchmark, arch):
+    cycles = benchmark.pedantic(lambda: _simulate(arch), rounds=3, iterations=1)
+    assert cycles > 0
+    # Report simulated cycles/second alongside wall time.
+    benchmark.extra_info["simulated_cycles"] = cycles

@@ -1,0 +1,20 @@
+"""X3 (methodology) — the scaled 2-SM chip is faithful to the full chip.
+
+Every other experiment runs on a scaled-down configuration for
+tractability.  This target validates that methodology: at matched per-SM
+CTA pressure the full 15-SM GTX480-class chip reproduces the scaled
+chip's VT speedups within a few percent.
+"""
+
+from conftest import bench_config, run_once
+
+from repro.analysis.experiments import x3_full_chip
+
+
+def test_x3_full_chip(benchmark, report_sink):
+    report, data = run_once(benchmark, lambda: x3_full_chip(bench_config()))
+    report_sink("X3", report)
+    for name, row in data.items():
+        assert row["gap"] < 0.10, f"{name}: scaled vs full chip diverge by {row['gap']:.1%}"
+        # The full chip preserves the qualitative result too.
+        assert (row["full"] > 1.05) == (row["scaled"] > 1.05), name

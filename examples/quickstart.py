@@ -1,0 +1,74 @@
+"""Quickstart: assemble a kernel, run it on the simulated GPU, read results.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import GPU, GlobalMemory, assemble, occupancy, scaled_fermi
+
+# 1. Write a kernel in the mini SIMT assembly.  This is saxpy:
+#    out[i] = 2.5 * x[i] + y[i], one element per thread.
+SAXPY = """
+.kernel saxpy
+.regs 13
+.cta 128
+entry:
+    S2R   r0, %ctaid_x
+    S2R   r1, %ntid_x
+    S2R   r2, %tid_x
+    IMAD  r3, r0, r1, r2        // global thread id
+    SHL   r4, r3, #2            // byte offset (4-byte words)
+    S2R   r5, %param0
+    IADD  r6, r5, r4
+    LDG   r7, [r6]              // x[i]
+    S2R   r8, %param1
+    IADD  r9, r8, r4
+    LDG   r10, [r9]             // y[i]
+    FMUL  r7, r7, #2.5
+    FADD  r7, r7, r10
+    S2R   r11, %param2
+    IADD  r12, r11, r4
+    STG   [r12], r7             // out[i]
+    EXIT
+"""
+
+
+def main():
+    kernel = assemble(SAXPY)
+    print(kernel.disassemble())
+
+    # 2. Ask the occupancy calculator what limits this kernel's residency.
+    occ = occupancy(kernel)
+    print(f"\nlimiter: {occ.limiter.value} "
+          f"(baseline {occ.baseline_ctas} CTAs/SM, capacity would fit {occ.capacity_limit_ctas})")
+
+    # 3. Allocate inputs in simulated global memory.
+    grid = 32
+    n = 128 * grid
+    rng = np.random.default_rng(0)
+    x, y = rng.random(n), rng.random(n)
+
+    for arch in ("baseline", "vt"):
+        gmem = GlobalMemory()
+        gmem.alloc("x", n)
+        gmem.alloc("y", n)
+        gmem.alloc("out", n)
+        gmem.write("x", x)
+        gmem.write("y", y)
+
+        # 4. Launch on a 2-SM Fermi-class GPU under the chosen architecture.
+        gpu = GPU(scaled_fermi(num_sms=2, arch=arch))
+        result = gpu.launch(
+            kernel, grid_dim=grid, gmem=gmem,
+            params=(gmem.base("x"), gmem.base("y"), gmem.base("out")),
+        )
+
+        # 5. Verify the computation and inspect the timing statistics.
+        assert np.allclose(result.read("out"), 2.5 * x + y), "wrong results!"
+        print(f"\n--- {arch} ---")
+        print(result.stats.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Virtual Thread case study: the paper's story on one kernel.
+
+Walks the `stride` latency microbenchmark through the whole argument:
+
+1. the occupancy calculator shows the scheduling limit binds,
+2. the baseline run starves on memory (idle-cycle breakdown),
+3. VT converts idle capacity into resident CTAs and recovers the stalls,
+4. the ideal-sched upper bound confirms VT captures most of the headroom,
+5. a swap-cost sweep shows why moving only scheduling state matters.
+
+Run with:  python examples/vt_case_study.py
+"""
+
+from repro import GPU, occupancy, scaled_fermi
+from repro.analysis import CTATracer, format_table
+from repro.kernels import get
+
+BENCH = get("stride")
+CFG = scaled_fermi(num_sms=2)
+
+
+def run(arch, **overrides):
+    prep = BENCH.prepare(1.0)
+    gpu = GPU(CFG.with_(arch=arch, **overrides))
+    result = gpu.launch(BENCH.kernel, prep.grid_dim, prep.gmem, prep.params)
+    prep.check(result)
+    return result.stats
+
+
+def main():
+    occ = occupancy(BENCH.kernel, CFG)
+    print(f"kernel: {BENCH.name} ({BENCH.description})")
+    print(f"limiter: {occ.limiter.value} via {occ.binding_resource}; "
+          f"baseline {occ.baseline_ctas} CTAs/SM, capacity fits {occ.capacity_limit_ctas} "
+          f"({occ.vt_headroom:.1f}x headroom)\n")
+
+    stats = {arch: run(arch) for arch in ("baseline", "vt", "ideal-sched")}
+    rows = []
+    for arch, s in stats.items():
+        breakdown = s.idle_breakdown()
+        rows.append((
+            arch, s.cycles, f"{s.ipc:.3f}",
+            f"{s.avg_resident_warps:.1f}",
+            f"{breakdown['mem']:.0%}", s.total_swaps,
+            f"x{stats['baseline'].cycles / s.cycles:.3f}",
+        ))
+    print(format_table(
+        ("architecture", "cycles", "IPC", "resident warps/SM", "idle on memory", "swaps", "speedup"),
+        rows,
+        title="Baseline starves; VT fills the gap; ideal-sched is the bound",
+    ))
+
+    print("\nSwap-cost sweep (why moving only PCs + SIMT stacks matters):")
+    rows = []
+    for base, per_warp in ((0, 0), (2, 1), (8, 4), (32, 16), (128, 64)):
+        s = run("vt", vt_swap_out_base=base, vt_swap_out_per_warp=per_warp,
+                vt_swap_in_base=base, vt_swap_in_per_warp=per_warp)
+        rows.append((f"{base}+{per_warp}/warp", s.cycles,
+                     f"x{stats['baseline'].cycles / s.cycles:.3f}", s.total_swaps))
+    print(format_table(("save/restore cost", "cycles", "speedup", "swaps"), rows))
+    print("\nA full-state context switch would sit at the bottom of this table;")
+    print("VT's few-cycle switch sits at the top — that asymmetry is the paper.")
+
+    print("\nCTA lifecycle under VT (watch active slots rotate through the")
+    print("virtual CTA pool as stalled CTAs are swapped out):")
+    prep = BENCH.prepare(0.5)
+    tracer = CTATracer(stride=32)
+    gpu = GPU(CFG.with_(arch="vt", num_sms=1))
+    result = gpu.launch(BENCH.kernel, prep.grid_dim, prep.gmem, prep.params, tracer=tracer)
+    prep.check(result)
+    print(tracer.render_timeline(max_ctas=16, width=72))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — a reproduction of "Virtual Thread: Maximizing Thread-Level
+Parallelism beyond GPU Scheduling Limit" (Yoon et al., ISCA 2016).
+
+The package bundles a cycle-level SIMT GPU simulator (:mod:`repro.sim`),
+the Virtual Thread CTA-virtualization architecture (:mod:`repro.core`),
+a mini-ISA with assembler (:mod:`repro.isa`), a benchmark kernel library
+(:mod:`repro.kernels`) and the experiment harness (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import GPU, GlobalMemory, scaled_fermi, assemble
+
+    kernel = assemble(SAXPY_ASM)
+    gmem = GlobalMemory()
+    x = gmem.alloc("x", 1024); ...
+    gpu = GPU(scaled_fermi(num_sms=2, arch="vt"))
+    result = gpu.launch(kernel, grid_dim=8, gmem=gmem, params=(x, y))
+    print(result.stats.summary())
+"""
+
+from repro.isa import Kernel, KernelBuilder, assemble
+from repro.core import LimiterClass, OccupancyResult, occupancy, vt_overhead
+from repro.sim import GPU, GlobalMemory, GPUConfig, LaunchResult, SimStats
+from repro.sim.config import ArchMode, fermi_config, scaled_fermi
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Kernel",
+    "KernelBuilder",
+    "assemble",
+    "LimiterClass",
+    "OccupancyResult",
+    "occupancy",
+    "vt_overhead",
+    "GPU",
+    "GlobalMemory",
+    "GPUConfig",
+    "LaunchResult",
+    "SimStats",
+    "ArchMode",
+    "fermi_config",
+    "scaled_fermi",
+    "__version__",
+]

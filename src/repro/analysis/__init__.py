@@ -1,0 +1,23 @@
+"""Experiment harness: run matrices of (benchmark × architecture × config)
+and render the paper's tables and figure series as aligned-text reports.
+
+The per-experiment entry points live in :mod:`repro.analysis.experiments`
+(one function per paper artifact, E1..E12); the pytest-benchmark wrappers
+under ``benchmarks/`` call straight into them.
+"""
+
+from repro.analysis.geomean import geomean, speedup_summary
+from repro.analysis.runner import RunRecord, run_benchmark, run_matrix
+from repro.analysis.trace import CTATracer
+from repro.analysis.tables import ascii_bars, format_table
+
+__all__ = [
+    "geomean",
+    "speedup_summary",
+    "RunRecord",
+    "run_benchmark",
+    "run_matrix",
+    "ascii_bars",
+    "format_table",
+    "CTATracer",
+]

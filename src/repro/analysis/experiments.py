@@ -1,0 +1,568 @@
+"""Paper-artifact experiments E1..E12.
+
+One function per table/figure of the evaluation (see DESIGN.md for the
+mapping).  Each returns ``(report, data)``: an aligned-text report that
+mirrors the paper's rows/series, plus the raw numbers so tests and the
+benchmark harness can assert the reproduction's shape claims.
+
+All experiments default to the 2-SM scaled Fermi configuration; ``scale``
+shrinks or grows every workload's grid for quick runs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.geomean import geomean, speedup_summary
+from repro.analysis.runner import run_benchmark, run_matrix
+from repro.analysis.tables import ascii_bars, format_table
+from repro.core.occupancy import occupancy
+from repro.core.overhead import vt_overhead
+from repro.kernels.registry import all_benchmarks, get
+from repro.sim.config import ArchMode, GPUConfig, scaled_fermi
+
+#: Benchmarks used for parameter sweeps: the scheduling-limited,
+#: memory-sensitive subset where VT is active (sweeping the full suite
+#: would mostly re-measure flat lines).
+SWEEP_SUBSET = ("stride", "streamcluster", "hotspot", "pathfinder", "kmeans")
+
+ARCHS = (ArchMode.BASELINE, ArchMode.VT, ArchMode.IDEAL_SCHED)
+
+
+def default_config(**overrides) -> GPUConfig:
+    return scaled_fermi(num_sms=2, **overrides)
+
+
+# ---------------------------------------------------------------------------
+# E1 — methodology table: simulated configuration
+# ---------------------------------------------------------------------------
+
+def e1_config_table(cfg: GPUConfig | None = None):
+    """Table 1: the simulated GPU configuration."""
+    cfg = cfg or default_config()
+    rows = [
+        ("SMs simulated", f"{cfg.num_sms} (per-SM parameters are GTX480-class)"),
+        ("warp size", cfg.warp_size),
+        ("warp slots / SM (scheduling limit)", cfg.max_warps_per_sm),
+        ("CTA slots / SM (scheduling limit)", cfg.max_ctas_per_sm),
+        ("thread slots / SM", cfg.max_threads_per_sm),
+        ("register file / SM (capacity limit)", f"{cfg.registers_per_sm} regs (128 KiB)"),
+        ("shared memory / SM (capacity limit)", f"{cfg.smem_per_sm // 1024} KiB"),
+        ("warp schedulers / SM", f"{cfg.num_warp_schedulers} x {cfg.warp_scheduler.upper()}"),
+        ("L1D / SM", f"{cfg.l1_size // 1024} KiB, {cfg.l1_assoc}-way, {cfg.l1_mshrs} MSHRs"),
+        ("shared L2", f"{cfg.l2_size // 1024} KiB, {cfg.l2_assoc}-way"),
+        ("DRAM", f"{cfg.dram_channels} channels, {cfg.dram_latency}-cycle latency"),
+        ("VT resident-CTA cap", f"{cfg.vt_max_resident_multiplier:g}x active limit"),
+        ("VT swap cost", f"save {cfg.vt_swap_out_base}+{cfg.vt_swap_out_per_warp}/warp, "
+                         f"restore {cfg.vt_swap_in_base}+{cfg.vt_swap_in_per_warp}/warp cycles"),
+    ]
+    report = format_table(("parameter", "value"), rows, title="E1 / Table 1 - simulated configuration")
+    return report, {"config": cfg}
+
+
+# ---------------------------------------------------------------------------
+# E2 — benchmark table with limiter classification
+# ---------------------------------------------------------------------------
+
+def e2_benchmark_table(cfg: GPUConfig | None = None):
+    """Table 2: the suite, per-kernel resources, and the limiter class."""
+    cfg = cfg or default_config()
+    rows = []
+    data = {}
+    for bench in all_benchmarks():
+        occ = occupancy(bench.kernel, cfg)
+        rows.append((
+            bench.name,
+            bench.suite,
+            bench.category,
+            "x".join(str(d) for d in bench.kernel.cta_dim if d > 1) or "1",
+            bench.kernel.regs_per_thread,
+            bench.kernel.smem_bytes,
+            occ.baseline_ctas,
+            occ.capacity_limit_ctas,
+            occ.limiter.value,
+        ))
+        data[bench.name] = occ
+    report = format_table(
+        ("benchmark", "models", "class", "cta", "regs/t", "smem B",
+         "CTAs(base)", "CTAs(cap)", "limiter"),
+        rows,
+        title="E2 / Table 2 - benchmark suite and limiter classification",
+    )
+    return report, data
+
+
+# ---------------------------------------------------------------------------
+# E3 — motivation: CTA residency, scheduling vs capacity limit
+# ---------------------------------------------------------------------------
+
+def e3_cta_residency(cfg: GPUConfig | None = None):
+    """Motivation figure: CTAs/SM under each limit family per benchmark."""
+    cfg = cfg or default_config()
+    rows = []
+    headroom = {}
+    for bench in all_benchmarks():
+        occ = occupancy(bench.kernel, cfg)
+        rows.append((bench.name, occ.scheduling_limit_ctas, occ.capacity_limit_ctas,
+                     f"{occ.vt_headroom:.2f}x", occ.binding_resource))
+        headroom[bench.name] = occ.vt_headroom
+    report = format_table(
+        ("benchmark", "CTAs @ sched limit", "CTAs @ capacity limit", "VT headroom", "binding resource"),
+        rows,
+        title="E3 - CTA residency: scheduling limit leaves capacity idle",
+    )
+    return report, headroom
+
+
+# ---------------------------------------------------------------------------
+# E4 — motivation: idle-cycle breakdown on the baseline
+# ---------------------------------------------------------------------------
+
+def e4_idle_cycles(cfg: GPUConfig | None = None, scale: float = 1.0):
+    """Motivation figure: fraction of SM cycles with zero issue, by cause."""
+    cfg = (cfg or default_config()).with_(arch=ArchMode.BASELINE)
+    rows = []
+    data = {}
+    for bench in all_benchmarks():
+        record = run_benchmark(bench, cfg, scale)
+        breakdown = record.stats.idle_breakdown()
+        rows.append((
+            bench.name,
+            f"{breakdown['busy']:.1%}",
+            f"{breakdown['mem']:.1%}",
+            f"{breakdown['alu']:.1%}",
+            f"{breakdown['barrier']:.1%}",
+            f"{breakdown['struct']:.1%}",
+            f"{breakdown['empty']:.1%}",
+        ))
+        data[bench.name] = breakdown
+    report = format_table(
+        ("benchmark", "busy", "idle:mem", "idle:alu", "idle:barrier", "idle:struct", "idle:other"),
+        rows,
+        title="E4 - baseline idle-cycle breakdown (why the SM starves)",
+    )
+    return report, data
+
+
+# ---------------------------------------------------------------------------
+# E5 — headline: speedups of VT and ideal-sched over baseline
+# ---------------------------------------------------------------------------
+
+def e5_speedup(cfg: GPUConfig | None = None, scale: float = 1.0):
+    """The headline figure: per-benchmark IPC normalized to baseline."""
+    base_cfg = cfg or default_config()
+    records = run_matrix(all_benchmarks(), ARCHS, base_cfg, scale)
+    rows = []
+    vt_speedups = {}
+    ideal_speedups = {}
+    for bench in all_benchmarks():
+        base = records[(bench.name, ArchMode.BASELINE)].cycles
+        vt = records[(bench.name, ArchMode.VT)].cycles
+        ideal = records[(bench.name, ArchMode.IDEAL_SCHED)].cycles
+        vt_speedups[bench.name] = base / vt
+        ideal_speedups[bench.name] = base / ideal
+        rows.append((bench.name, base, vt, ideal,
+                     f"x{base / vt:.3f}", f"x{base / ideal:.3f}",
+                     records[(bench.name, ArchMode.VT)].stats.total_swaps))
+    table = format_table(
+        ("benchmark", "base cyc", "VT cyc", "ideal cyc", "VT speedup", "ideal speedup", "swaps"),
+        rows,
+        title="E5 - speedup over baseline (paper: VT avg +23.9%)",
+    )
+    bars = ascii_bars(sorted(vt_speedups.items(), key=lambda kv: -kv[1]), reference=1.0, unit="x")
+    gm_vt = geomean(vt_speedups.values())
+    gm_ideal = geomean(ideal_speedups.values())
+    report = "\n".join([
+        table,
+        "",
+        "VT speedup (normalized IPC, '|' = baseline):",
+        bars,
+        "",
+        f"VT:    {speedup_summary(vt_speedups)}",
+        f"ideal: {speedup_summary(ideal_speedups)}",
+    ])
+    data = {
+        "vt": vt_speedups,
+        "ideal": ideal_speedups,
+        "geomean_vt": gm_vt,
+        "geomean_ideal": gm_ideal,
+        "records": records,
+    }
+    return report, data
+
+
+# ---------------------------------------------------------------------------
+# E6 — TLP: schedulable warps over time, baseline vs VT
+# ---------------------------------------------------------------------------
+
+def e6_tlp(cfg: GPUConfig | None = None, scale: float = 1.0):
+    """How much thread-level parallelism VT exposes to the SM."""
+    base_cfg = cfg or default_config()
+    rows = []
+    data = {}
+    for bench in all_benchmarks():
+        base = run_benchmark(bench, base_cfg.with_(arch=ArchMode.BASELINE), scale)
+        vt = run_benchmark(bench, base_cfg.with_(arch=ArchMode.VT), scale)
+        rows.append((
+            bench.name,
+            f"{base.stats.avg_resident_warps:.1f}",
+            f"{vt.stats.avg_resident_warps:.1f}",
+            f"{base.stats.avg_resident_ctas:.1f}",
+            f"{vt.stats.avg_resident_ctas:.1f} ({vt.stats.avg_active_ctas:.1f} active)",
+        ))
+        data[bench.name] = {
+            "base_warps": base.stats.avg_resident_warps,
+            "vt_warps": vt.stats.avg_resident_warps,
+            "base_ctas": base.stats.avg_resident_ctas,
+            "vt_ctas": vt.stats.avg_resident_ctas,
+            "vt_active_ctas": vt.stats.avg_active_ctas,
+        }
+    report = format_table(
+        ("benchmark", "warps/SM base", "warps/SM VT", "CTAs base", "CTAs VT"),
+        rows,
+        title="E6 - resident thread-level parallelism, baseline vs VT",
+    )
+    return report, data
+
+
+# ---------------------------------------------------------------------------
+# E7 — sensitivity: context-switch latency
+# ---------------------------------------------------------------------------
+
+SWAP_LATENCY_POINTS = ((0, 0), (2, 1), (8, 4), (32, 16), (128, 64))
+
+
+def e7_swap_latency(cfg: GPUConfig | None = None, scale: float = 1.0,
+                    points=SWAP_LATENCY_POINTS, subset=SWEEP_SUBSET):
+    """VT speedup as the swap save/restore cost scales.
+
+    The paper's claim: because only scheduling state moves, swaps cost a
+    handful of cycles and performance is robust until costs grow by an
+    order of magnitude.
+    """
+    base_cfg = cfg or default_config()
+    benches = [get(name) for name in subset]
+    baselines = {
+        b.name: run_benchmark(b, base_cfg.with_(arch=ArchMode.BASELINE), scale).cycles
+        for b in benches
+    }
+    rows = []
+    data = {}
+    for base_cost, per_warp in points:
+        vt_cfg = base_cfg.with_(
+            arch=ArchMode.VT,
+            vt_swap_out_base=base_cost, vt_swap_out_per_warp=per_warp,
+            vt_swap_in_base=base_cost, vt_swap_in_per_warp=per_warp,
+        )
+        speedups = {
+            b.name: baselines[b.name] / run_benchmark(b, vt_cfg, scale).cycles
+            for b in benches
+        }
+        label = f"save/restore {base_cost}+{per_warp}/warp"
+        gm = geomean(speedups.values())
+        data[(base_cost, per_warp)] = {"speedups": speedups, "geomean": gm}
+        rows.append((label, *(f"x{speedups[b.name]:.3f}" for b in benches), f"x{gm:.3f}"))
+    report = format_table(
+        ("swap cost", *subset, "geomean"),
+        rows,
+        title="E7 - VT speedup vs context-switch latency",
+    )
+    return report, data
+
+
+# ---------------------------------------------------------------------------
+# E8 — sensitivity: virtual-CTA degree (resident multiplier)
+# ---------------------------------------------------------------------------
+
+def e8_vcta_degree(cfg: GPUConfig | None = None, scale: float = 1.0,
+                   multipliers=(1.0, 1.5, 2.0, 3.0, 4.0), subset=SWEEP_SUBSET):
+    """VT speedup as the resident-CTA provisioning grows (1x = no virtual
+    CTAs, so VT must degenerate to baseline behaviour)."""
+    base_cfg = cfg or default_config()
+    benches = [get(name) for name in subset]
+    baselines = {
+        b.name: run_benchmark(b, base_cfg.with_(arch=ArchMode.BASELINE), scale).cycles
+        for b in benches
+    }
+    rows = []
+    data = {}
+    for mult in multipliers:
+        vt_cfg = base_cfg.with_(arch=ArchMode.VT, vt_max_resident_multiplier=mult)
+        speedups = {
+            b.name: baselines[b.name] / run_benchmark(b, vt_cfg, scale).cycles
+            for b in benches
+        }
+        gm = geomean(speedups.values())
+        data[mult] = {"speedups": speedups, "geomean": gm}
+        rows.append((f"{mult:g}x", *(f"x{speedups[b.name]:.3f}" for b in benches), f"x{gm:.3f}"))
+    report = format_table(
+        ("resident cap", *subset, "geomean"),
+        rows,
+        title="E8 - VT speedup vs virtual-CTA provisioning",
+    )
+    return report, data
+
+
+# ---------------------------------------------------------------------------
+# E9 — interaction with the warp scheduler
+# ---------------------------------------------------------------------------
+
+def e9_schedulers(cfg: GPUConfig | None = None, scale: float = 1.0,
+                  schedulers=("lrr", "gto", "two-level"), subset=SWEEP_SUBSET):
+    """VT's gain under different warp-scheduling policies."""
+    base_cfg = cfg or default_config()
+    benches = [get(name) for name in subset]
+    rows = []
+    data = {}
+    for policy in schedulers:
+        pol_cfg = base_cfg.with_(warp_scheduler=policy)
+        speedups = {}
+        for bench in benches:
+            base = run_benchmark(bench, pol_cfg.with_(arch=ArchMode.BASELINE), scale).cycles
+            vt = run_benchmark(bench, pol_cfg.with_(arch=ArchMode.VT), scale).cycles
+            speedups[bench.name] = base / vt
+        gm = geomean(speedups.values())
+        data[policy] = {"speedups": speedups, "geomean": gm}
+        rows.append((policy, *(f"x{speedups[b.name]:.3f}" for b in benches), f"x{gm:.3f}"))
+    report = format_table(
+        ("warp scheduler", *subset, "geomean VT gain"),
+        rows,
+        title="E9 - VT gain under different warp schedulers",
+    )
+    return report, data
+
+
+# ---------------------------------------------------------------------------
+# E10 — sensitivity: memory latency
+# ---------------------------------------------------------------------------
+
+def e10_mem_latency(cfg: GPUConfig | None = None, scale: float = 1.0,
+                    latencies=(200, 400, 600, 800), subset=SWEEP_SUBSET):
+    """VT's gain should grow with memory latency (more to hide)."""
+    base_cfg = cfg or default_config()
+    benches = [get(name) for name in subset]
+    rows = []
+    data = {}
+    for latency in latencies:
+        lat_cfg = base_cfg.with_(dram_latency=latency)
+        speedups = {}
+        for bench in benches:
+            base = run_benchmark(bench, lat_cfg.with_(arch=ArchMode.BASELINE), scale).cycles
+            vt = run_benchmark(bench, lat_cfg.with_(arch=ArchMode.VT), scale).cycles
+            speedups[bench.name] = base / vt
+        gm = geomean(speedups.values())
+        data[latency] = {"speedups": speedups, "geomean": gm}
+        rows.append((f"{latency} cyc", *(f"x{speedups[b.name]:.3f}" for b in benches), f"x{gm:.3f}"))
+    report = format_table(
+        ("DRAM latency", *subset, "geomean VT gain"),
+        rows,
+        title="E10 - VT gain vs DRAM latency",
+    )
+    return report, data
+
+
+# ---------------------------------------------------------------------------
+# E11 — hardware overhead
+# ---------------------------------------------------------------------------
+
+def e11_overhead(cfg: GPUConfig | None = None):
+    """Overhead table: VT's backup SRAM next to the memory it virtualizes."""
+    cfg = cfg or default_config()
+    report_obj = vt_overhead(cfg)
+    report = format_table(("item", "value"), report_obj.rows(),
+                          title="E11 - Virtual Thread hardware overhead per SM")
+    return report, {"overhead": report_obj}
+
+
+# ---------------------------------------------------------------------------
+# E12 — ablation: swap trigger and selection policies
+# ---------------------------------------------------------------------------
+
+def e12_ablation(cfg: GPUConfig | None = None, scale: float = 1.0, subset=SWEEP_SUBSET):
+    """Design-choice ablation for the swap trigger and victim selection."""
+    base_cfg = cfg or default_config()
+    benches = [get(name) for name in subset]
+    baselines = {
+        b.name: run_benchmark(b, base_cfg.with_(arch=ArchMode.BASELINE), scale).cycles
+        for b in benches
+    }
+    variants = [
+        ("all-stalled / oldest-ready (paper)", dict(vt_trigger_policy="all-stalled",
+                                                    vt_select_policy="oldest-ready")),
+        ("all-stalled / most-ready", dict(vt_trigger_policy="all-stalled",
+                                          vt_select_policy="most-ready")),
+        ("majority-stalled / oldest-ready", dict(vt_trigger_policy="majority-stalled",
+                                                 vt_select_policy="oldest-ready")),
+        ("timeout(16) / oldest-ready", dict(vt_trigger_policy="timeout",
+                                            vt_select_policy="oldest-ready")),
+    ]
+    rows = []
+    data = {}
+    for label, overrides in variants:
+        vt_cfg = base_cfg.with_(arch=ArchMode.VT, **overrides)
+        speedups = {}
+        swaps = 0
+        for bench in benches:
+            record = run_benchmark(bench, vt_cfg, scale)
+            speedups[bench.name] = baselines[bench.name] / record.cycles
+            swaps += record.stats.total_swaps
+        gm = geomean(speedups.values())
+        data[label] = {"speedups": speedups, "geomean": gm, "swaps": swaps}
+        rows.append((label, *(f"x{speedups[b.name]:.3f}" for b in benches), f"x{gm:.3f}", swaps))
+    report = format_table(
+        ("policy variant", *subset, "geomean", "total swaps"),
+        rows,
+        title="E12 - swap-policy ablation",
+    )
+    return report, data
+
+
+# ---------------------------------------------------------------------------
+# X1 — extension (beyond the paper): oversubscription cache contention
+# ---------------------------------------------------------------------------
+
+def x1_contention(cfg: GPUConfig | None = None, scale: float = 1.0, bench_name: str = "spmv"):
+    """Diagnose the one VT regression in E5 and evaluate a mitigation.
+
+    spmv loses under VT because rotating the active set through more CTAs
+    spreads the L1 working set: lines fetched before a swap-out are evicted
+    before the CTA returns, inflating DRAM traffic.  The table shows the
+    diagnosis (DRAM requests and hit rates across variants) and one
+    mitigation from this reproduction: the LIFO ``most-recent`` selection
+    policy, which keeps the recently-touched CTAs hot.
+    """
+    base_cfg = cfg or default_config()
+    bench = get(bench_name)
+    variants = [
+        ("baseline", base_cfg.with_(arch=ArchMode.BASELINE)),
+        ("vt / oldest-ready (paper)", base_cfg.with_(arch=ArchMode.VT)),
+        ("vt / most-recent (LIFO ext.)", base_cfg.with_(arch=ArchMode.VT,
+                                                        vt_select_policy="most-recent")),
+        ("ideal-sched", base_cfg.with_(arch=ArchMode.IDEAL_SCHED)),
+        ("baseline, 48K L1", base_cfg.with_(arch=ArchMode.BASELINE, l1_size=49152)),
+        ("vt, 48K L1", base_cfg.with_(arch=ArchMode.VT, l1_size=49152)),
+    ]
+    rows = []
+    data = {}
+    base_cycles = None
+    for label, variant_cfg in variants:
+        record = run_benchmark(bench, variant_cfg, scale)
+        stats = record.stats
+        if base_cycles is None:
+            base_cycles = stats.cycles
+        rows.append((label, stats.cycles, f"x{base_cycles / stats.cycles:.3f}",
+                     f"{stats.l1_hit_rate:.0%}", f"{stats.l2_hit_rate:.0%}",
+                     stats.dram_requests, stats.total_swaps))
+        data[label] = {
+            "cycles": stats.cycles,
+            "l1_hit": stats.l1_hit_rate,
+            "dram": stats.dram_requests,
+        }
+    report = format_table(
+        ("variant", "cycles", "vs 16K baseline", "L1 hit", "L2 hit", "DRAM reqs", "swaps"),
+        rows,
+        title=f"X1 (extension) - oversubscription cache contention on {bench_name}",
+    )
+    return report, data
+
+
+# ---------------------------------------------------------------------------
+# X2 — extension (beyond the paper): does VT generalize to a Kepler-class SM?
+# ---------------------------------------------------------------------------
+
+def x2_kepler(cfg: GPUConfig | None = None, scale: float = 2.0, subset=SWEEP_SUBSET):
+    """VT gain on a Kepler-class SM (64 warps / 16 CTAs / 2x register file).
+
+    Kepler relaxes Fermi's scheduling limits but also doubles capacity, so
+    small-CTA kernels remain scheduling-limited and VT's argument carries
+    forward; the absolute gain shrinks because the baseline already holds
+    twice the CTAs.
+    """
+    from repro.sim.config import scaled_kepler
+
+    # Kepler holds 2x the CTAs per SM, so grids must be proportionally
+    # larger before the scheduling limit binds; hence the 2x default scale.
+    kepler = (cfg or scaled_kepler(num_sms=2))
+    benches = [get(name) for name in subset]
+    rows = []
+    data = {}
+    for bench in benches:
+        occ = occupancy(bench.kernel, kepler)
+        base = run_benchmark(bench, kepler.with_(arch=ArchMode.BASELINE), scale)
+        vt = run_benchmark(bench, kepler.with_(arch=ArchMode.VT), scale)
+        speedup = base.cycles / vt.cycles
+        data[bench.name] = {
+            "speedup": speedup,
+            "headroom": occ.vt_headroom,
+            "limiter": occ.limiter.value,
+        }
+        rows.append((bench.name, occ.limiter.value, f"{occ.vt_headroom:.2f}x",
+                     base.cycles, vt.cycles, f"x{speedup:.3f}"))
+    gm = geomean(d["speedup"] for d in data.values())
+    data["geomean"] = gm
+    report = format_table(
+        ("benchmark", "limiter", "VT headroom", "base cyc", "VT cyc", "VT speedup"),
+        rows,
+        title=f"X2 (extension) - VT on a Kepler-class SM (geomean x{gm:.3f})",
+    )
+    return report, data
+
+
+# ---------------------------------------------------------------------------
+# X3 — methodology validation: scaled 2-SM chip vs the full 15-SM GTX480
+# ---------------------------------------------------------------------------
+
+def x3_full_chip(cfg: GPUConfig | None = None, scale: float = 1.0,
+                 subset=("stride", "streamcluster", "kmeans")):
+    """VT speedups on the full 15-SM chip vs the scaled 2-SM default.
+
+    The harness runs everything on a scaled-down chip for tractability;
+    this experiment validates that choice: at matched per-SM CTA pressure
+    (grid scaled by 15/2), the full GTX480-class configuration reproduces
+    the scaled configuration's speedups within a few percent.
+    """
+    small = cfg or default_config()
+    from repro.sim.config import fermi_config
+
+    full = fermi_config()
+    ratio = full.num_sms / small.num_sms
+    rows = []
+    data = {}
+    for name in subset:
+        bench = get(name)
+        speedups = {}
+        for label, chip_cfg, chip_scale in (
+            ("scaled", small, scale),
+            ("full", full, scale * ratio),
+        ):
+            base = run_benchmark(bench, chip_cfg.with_(arch=ArchMode.BASELINE), chip_scale)
+            vt = run_benchmark(bench, chip_cfg.with_(arch=ArchMode.VT), chip_scale)
+            speedups[label] = base.cycles / vt.cycles
+        gap = abs(speedups["full"] - speedups["scaled"]) / speedups["scaled"]
+        data[name] = {**speedups, "gap": gap}
+        rows.append((name, f"x{speedups['scaled']:.3f}", f"x{speedups['full']:.3f}",
+                     f"{gap:.1%}"))
+    report = format_table(
+        ("benchmark", f"VT speedup ({small.num_sms} SMs)", f"VT speedup ({full.num_sms} SMs)", "gap"),
+        rows,
+        title="X3 (methodology) - scaled chip vs full GTX480-class chip",
+    )
+    return report, data
+
+
+#: Experiment registry for the harness and docs.
+ALL_EXPERIMENTS = {
+    "E1": e1_config_table,
+    "E2": e2_benchmark_table,
+    "E3": e3_cta_residency,
+    "E4": e4_idle_cycles,
+    "E5": e5_speedup,
+    "E6": e6_tlp,
+    "E7": e7_swap_latency,
+    "E8": e8_vcta_degree,
+    "E9": e9_schedulers,
+    "E10": e10_mem_latency,
+    "E11": e11_overhead,
+    "E12": e12_ablation,
+    "X1": x1_contention,
+    "X2": x2_kepler,
+    "X3": x3_full_chip,
+}

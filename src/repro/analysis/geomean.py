@@ -1,0 +1,29 @@
+"""Geometric-mean helpers (the paper reports geomean speedups)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; raises on empty input or non-positive entries."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup_summary(speedups: Mapping[str, float]) -> str:
+    """One-line summary: geomean plus min/max with their benchmarks."""
+    if not speedups:
+        return "no data"
+    gm = geomean(speedups.values())
+    lo = min(speedups, key=speedups.get)
+    hi = max(speedups, key=speedups.get)
+    return (
+        f"geomean x{gm:.3f} ({(gm - 1) * 100:+.1f}%), "
+        f"min {lo} x{speedups[lo]:.3f}, max {hi} x{speedups[hi]:.3f}"
+    )

@@ -1,0 +1,56 @@
+"""Run benchmarks under configurations and collect results.
+
+Every run re-prepares the workload (fresh global memory, same seeds) so
+architecture comparisons see identical inputs, and every run's outputs are
+checked against the numpy reference — a timing result with wrong values
+never makes it into a report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.base import Benchmark
+from repro.sim.config import GPUConfig
+from repro.sim.gpu import GPU
+from repro.sim.stats import SimStats
+
+
+@dataclass
+class RunRecord:
+    """Result of one (benchmark, config) simulation."""
+
+    benchmark: str
+    arch: str
+    stats: SimStats
+    config: GPUConfig
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+def run_benchmark(bench: Benchmark, cfg: GPUConfig, scale: float = 1.0,
+                  check: bool = True) -> RunRecord:
+    """Simulate ``bench`` under ``cfg`` and verify its output."""
+    prepared = bench.prepare(scale)
+    gpu = GPU(cfg)
+    result = gpu.launch(bench.kernel, prepared.grid_dim, prepared.gmem, prepared.params)
+    if check:
+        prepared.check(result)
+    return RunRecord(benchmark=bench.name, arch=cfg.arch, stats=result.stats, config=cfg)
+
+
+def run_matrix(benches, archs, base_cfg: GPUConfig, scale: float = 1.0,
+               check: bool = True) -> dict[tuple[str, str], RunRecord]:
+    """Run every (benchmark, arch) pair; returns {(bench, arch): record}."""
+    records: dict[tuple[str, str], RunRecord] = {}
+    for bench in benches:
+        for arch in archs:
+            cfg = base_cfg.with_(arch=arch)
+            records[(bench.name, arch)] = run_benchmark(bench, cfg, scale, check)
+    return records

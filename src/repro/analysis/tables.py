@@ -1,0 +1,56 @@
+"""Aligned-text rendering for tables and bar-series ("figures")."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None) -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(headers))
+    lines.append(fmt(["-" * w for w in widths]))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def ascii_bars(items: Iterable[tuple[str, float]], width: int = 40,
+               reference: float | None = None, unit: str = "") -> str:
+    """Horizontal bar chart for figure-style series.
+
+    ``reference`` (e.g. 1.0 for normalized speedups) draws a '|' marker so
+    above/below-baseline bars read at a glance.
+    """
+    items = list(items)
+    if not items:
+        return "(no data)"
+    peak = max(v for _label, v in items)
+    peak = max(peak, reference or 0.0) or 1.0
+    label_w = max(len(label) for label, _v in items)
+    lines = []
+    for label, value in items:
+        bar = "#" * max(0, round(value / peak * width))
+        if reference is not None:
+            ref_pos = round(reference / peak * width)
+            bar = (bar + " " * (width + 1 - len(bar)))
+            bar = bar[:ref_pos] + "|" + bar[ref_pos + 1:]
+        lines.append(f"{label.ljust(label_w)}  {value:7.3f}{unit}  {bar.rstrip()}")
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""CTA-lifecycle tracing: ASCII timelines of Virtual Thread in action.
+
+Attach a :class:`CTATracer` to ``GPU.launch(..., tracer=...)`` and render
+a Gantt-style view of every CTA's state over time::
+
+    cta  0 AAAAAAAAiiiiAAAA----
+    cta  8 iiiiAAAAAAAAiiii----
+           ^ A=active  i=inactive  s=switching  .=not resident  -=finished
+
+This is both a debugging aid and the visual argument of the paper: under
+VT, the 'A' rows interleave — stalled CTAs hand their scheduling slots to
+ready ones instead of squatting on them.
+"""
+
+from __future__ import annotations
+
+from repro.sim.cta import CTAState
+
+_SYMBOL = {
+    CTAState.ACTIVE: "A",
+    CTAState.INACTIVE: "i",
+    CTAState.SWAP_OUT: "s",
+    CTAState.SWAP_IN: "s",
+    CTAState.FINISHED: "-",
+}
+
+
+class CTATracer:
+    """Samples resident-CTA states every ``stride`` cycles."""
+
+    def __init__(self, stride: int = 64, sm_id: int = 0):
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        self.stride = stride
+        self.sm_id = sm_id
+        #: cta_id -> {sample_index: symbol}
+        self.samples: dict[int, dict[int, str]] = {}
+        self.sample_count = 0
+        self._finished: set[int] = set()
+
+    def on_cycle(self, now: int, sms) -> None:
+        """Called by the GPU main loop every cycle."""
+        if now % self.stride:
+            return
+        index = self.sample_count
+        self.sample_count += 1
+        if self.sm_id >= len(sms):
+            return
+        sm = sms[self.sm_id]
+        for cta in sm.manager.resident:
+            self.samples.setdefault(cta.cta_id, {})[index] = _SYMBOL[cta.state]
+            self._finished.discard(cta.cta_id)
+
+    def render_timeline(self, max_ctas: int = 24, width: int | None = None) -> str:
+        """The per-CTA state timeline as aligned text."""
+        if not self.samples:
+            return "(no samples)"
+        cta_ids = sorted(self.samples)[:max_ctas]
+        total = self.sample_count
+        columns = width or total
+        lines = [
+            f"CTA state timeline, SM {self.sm_id} "
+            f"(1 column = {self.stride * max(1, total // columns)} cycles; "
+            "A=active i=inactive s=switching .=not resident -=finished)"
+        ]
+        for cta_id in cta_ids:
+            row_samples = self.samples[cta_id]
+            first = min(row_samples)
+            last = max(row_samples)
+            row = []
+            for index in range(total):
+                if index < first:
+                    row.append(".")
+                elif index > last:
+                    row.append("-")
+                else:
+                    row.append(row_samples.get(index, "?"))
+            row = _compress(row, columns)
+            lines.append(f"cta {cta_id:3d} {''.join(row)}")
+        if len(self.samples) > max_ctas:
+            lines.append(f"... ({len(self.samples) - max_ctas} more CTAs)")
+        return "\n".join(lines)
+
+    def state_fractions(self, cta_id: int) -> dict[str, float]:
+        """Fraction of samples each state symbol occupied for one CTA."""
+        row = self.samples.get(cta_id)
+        if not row:
+            return {}
+        counts: dict[str, int] = {}
+        for symbol in row.values():
+            counts[symbol] = counts.get(symbol, 0) + 1
+        total = len(row)
+        return {symbol: count / total for symbol, count in counts.items()}
+
+
+def _compress(row: list[str], columns: int) -> list[str]:
+    """Downsample a symbol row to at most ``columns`` buckets.
+
+    Each bucket shows its most 'interesting' symbol (switching beats
+    active beats inactive) so rare swap events stay visible.
+    """
+    if len(row) <= columns:
+        return row
+    priority = {"s": 4, "A": 3, "i": 2, ".": 1, "-": 0, "?": 0}
+    bucket = -(-len(row) // columns)
+    out = []
+    for start in range(0, len(row), bucket):
+        chunk = row[start : start + bucket]
+        out.append(max(chunk, key=lambda c: priority.get(c, 0)))
+    return out

@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the benchmark suite with categories and limiter classes.
+* ``run BENCH`` — simulate one benchmark under one architecture.
+* ``compare BENCH`` — baseline vs VT vs ideal-sched side by side.
+* ``experiment ID`` — regenerate a paper artifact (E1..E12, X1..X3).
+* ``occupancy BENCH`` — the occupancy calculator's view of a kernel.
+* ``disasm BENCH`` — disassemble a benchmark kernel.
+* ``profile BENCH`` — static instruction-mix / control-flow profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.experiments import ALL_EXPERIMENTS
+from repro.analysis.runner import run_benchmark
+from repro.analysis.tables import format_table
+from repro.core.occupancy import occupancy
+from repro.kernels.registry import all_benchmarks, get
+from repro.sim.config import ArchMode, scaled_fermi
+
+
+def _config(args, arch: str):
+    overrides = {}
+    if getattr(args, "scheduler", None):
+        overrides["warp_scheduler"] = args.scheduler
+    return scaled_fermi(num_sms=args.sms, arch=arch, **overrides)
+
+
+def cmd_list(_args) -> int:
+    rows = []
+    for bench in all_benchmarks():
+        occ = occupancy(bench.kernel)
+        rows.append((bench.name, bench.category, occ.limiter.value, bench.suite,
+                     bench.description))
+    print(format_table(("benchmark", "class", "limiter", "models", "description"), rows))
+    return 0
+
+
+def cmd_run(args) -> int:
+    bench = get(args.benchmark)
+    record = run_benchmark(bench, _config(args, args.arch), scale=args.scale)
+    print(f"{bench.name} on {args.arch} (scale {args.scale:g}, {args.sms} SMs):")
+    print(record.stats.summary())
+    return 0
+
+
+def cmd_compare(args) -> int:
+    bench = get(args.benchmark)
+    rows = []
+    baseline_cycles = None
+    for arch in ArchMode.ALL:
+        record = run_benchmark(bench, _config(args, arch), scale=args.scale)
+        stats = record.stats
+        if baseline_cycles is None:
+            baseline_cycles = stats.cycles
+        rows.append((
+            arch, stats.cycles, f"{stats.ipc:.3f}",
+            f"{stats.avg_resident_warps:.1f}", stats.total_swaps,
+            f"x{baseline_cycles / stats.cycles:.3f}",
+        ))
+    print(format_table(
+        ("architecture", "cycles", "IPC", "resident warps/SM", "swaps", "speedup"),
+        rows, title=f"{bench.name} (scale {args.scale:g}, {args.sms} SMs)",
+    ))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    key = args.id.upper()
+    if key not in ALL_EXPERIMENTS:
+        print(f"unknown experiment {args.id!r}; choose from {', '.join(ALL_EXPERIMENTS)}",
+              file=sys.stderr)
+        return 2
+    fn = ALL_EXPERIMENTS[key]
+    kwargs = {}
+    if key not in ("E1", "E2", "E3", "E11"):
+        kwargs["scale"] = args.scale
+    report, _data = fn(**kwargs)
+    print(report)
+    return 0
+
+
+def cmd_occupancy(args) -> int:
+    bench = get(args.benchmark)
+    occ = occupancy(bench.kernel, _config(args, ArchMode.BASELINE))
+    def fmt(count: int) -> str:
+        return "unbounded" if count >= 10**9 else str(count)
+
+    rows = [
+        ("CTA slots", fmt(occ.ctas_by_cta_slots)),
+        ("warp slots", fmt(occ.ctas_by_warp_slots)),
+        ("thread slots", fmt(occ.ctas_by_thread_slots)),
+        ("registers", fmt(occ.ctas_by_registers)),
+        ("shared memory", fmt(occ.ctas_by_smem)),
+    ]
+    print(format_table(("constraint", "CTAs/SM it allows"), rows,
+                       title=f"{bench.name}: occupancy analysis"))
+    print(f"\nbaseline residency: {occ.baseline_ctas} CTAs/SM "
+          f"({occ.limiter.value}-limited via {occ.binding_resource}); "
+          f"VT headroom {occ.vt_headroom:.2f}x")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.isa.profile import kernel_profile
+
+    bench = get(args.benchmark)
+    profile = kernel_profile(bench.kernel)
+    print(format_table(("property", "value"), profile.rows(),
+                       title=f"{bench.name}: static kernel profile"))
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    print(get(args.benchmark).kernel.disassemble())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Virtual Thread (ISCA 2016) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suite").set_defaults(fn=cmd_list)
+
+    def add_sim_args(p, with_arch=True):
+        p.add_argument("benchmark", help="benchmark name (see `repro list`)")
+        if with_arch:
+            p.add_argument("--arch", choices=ArchMode.ALL, default=ArchMode.BASELINE)
+        p.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
+        p.add_argument("--sms", type=int, default=2, help="simulated SM count")
+        p.add_argument("--scheduler", choices=("lrr", "gto", "two-level"), default=None)
+
+    run_p = sub.add_parser("run", help="simulate one benchmark")
+    add_sim_args(run_p)
+    run_p.set_defaults(fn=cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="baseline vs VT vs ideal-sched")
+    add_sim_args(cmp_p, with_arch=False)
+    cmp_p.set_defaults(fn=cmd_compare)
+
+    exp_p = sub.add_parser("experiment", help="regenerate a paper artifact")
+    exp_p.add_argument("id", help="experiment id: E1..E12 or X1..X3")
+    exp_p.add_argument("--scale", type=float, default=1.0)
+    exp_p.set_defaults(fn=cmd_experiment)
+
+    occ_p = sub.add_parser("occupancy", help="occupancy analysis of a kernel")
+    add_sim_args(occ_p, with_arch=False)
+    occ_p.set_defaults(fn=cmd_occupancy)
+
+    dis_p = sub.add_parser("disasm", help="disassemble a benchmark kernel")
+    dis_p.add_argument("benchmark")
+    dis_p.set_defaults(fn=cmd_disasm)
+
+    prof_p = sub.add_parser("profile", help="static kernel profile")
+    prof_p.add_argument("benchmark")
+    prof_p.set_defaults(fn=cmd_profile)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

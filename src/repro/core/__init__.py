@@ -1,0 +1,26 @@
+"""The paper's contribution: Virtual Thread CTA virtualization.
+
+* :mod:`repro.core.vt` — the Virtual Thread residency manager: CTAs are
+  admitted up to the capacity limit, kept in ACTIVE/INACTIVE states, and
+  context-switched on whole-CTA long-latency stalls.
+* :mod:`repro.core.policies` — swap-trigger and incoming-CTA-selection
+  policies (the paper's mechanism plus ablation variants).
+* :mod:`repro.core.occupancy` — analytic occupancy calculator and the
+  scheduling-limited vs capacity-limited classification that motivates
+  the paper.
+* :mod:`repro.core.overhead` — the hardware-overhead model for VT's
+  backup SRAM and control logic.
+"""
+
+from repro.core.occupancy import OccupancyResult, occupancy, LimiterClass
+from repro.core.overhead import vt_overhead, OverheadReport
+from repro.core.vt import VirtualThreadManager
+
+__all__ = [
+    "OccupancyResult",
+    "occupancy",
+    "LimiterClass",
+    "vt_overhead",
+    "OverheadReport",
+    "VirtualThreadManager",
+]

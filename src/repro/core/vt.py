@@ -1,0 +1,186 @@
+"""The Virtual Thread (VT) architecture — the paper's contribution.
+
+The stock GPU admits CTAs to an SM only while *both* the scheduling limit
+(CTA slots, warp slots, thread slots) and the capacity limit (register
+file, shared memory) hold, and every resident CTA is schedulable.  VT
+decouples the two:
+
+* **Admission** checks only the capacity limit (plus a provisioning cap on
+  backup slots), so on-chip memory fills with CTAs.
+* **Scheduling** keeps at most a scheduling-limit-sized subset ACTIVE;
+  the remainder are INACTIVE — registers and shared memory stay resident,
+  but they own no PC/SIMT-stack/scheduler entries.
+* **Swapping**: when every warp of an active CTA is blocked on a
+  long-latency (global-memory) stall, a context switch saves the CTA's
+  small scheduling state to backup SRAM and installs a *ready* inactive
+  CTA in its place.  Because the bulky state never moves, the switch costs
+  a handful of cycles (``vt_swap_out/in_base + per_warp × warps``).
+
+The swap engine is modeled as a single per-SM unit: one context switch in
+flight at a time, with save and restore phases serialized.
+"""
+
+from __future__ import annotations
+
+from repro.core.policies import SELECT_POLICIES, TRIGGER_POLICIES
+from repro.sim.cta import CTA, CTAState
+from repro.sim.ctamanager import CTAManagerBase
+
+
+class VirtualThreadManager(CTAManagerBase):
+    """CTA residency manager implementing Virtual Thread."""
+
+    def __init__(self, cfg, stats):
+        super().__init__(cfg, stats)
+        self._trigger = TRIGGER_POLICIES[cfg.vt_trigger_policy]
+        self._select = SELECT_POLICIES[cfg.vt_select_policy]
+        # Swap engine state: at most one context switch in flight.
+        self._swap_victim: CTA | None = None
+        self._swap_incoming: CTA | None = None
+        self._swap_phase_end = 0
+
+    # -- limits -------------------------------------------------------------------
+
+    def active_limit(self, kernel) -> int:
+        """Scheduling-limit CTA count for this kernel (max ACTIVE CTAs)."""
+        cfg = self.cfg
+        per_warps = cfg.max_warps_per_sm // kernel.warps_per_cta(cfg.warp_size)
+        per_threads = cfg.max_threads_per_sm // kernel.threads_per_cta
+        return max(1, min(cfg.max_ctas_per_sm, per_warps, per_threads))
+
+    def resident_limit(self, kernel) -> int:
+        """Backup-slot provisioning cap on total resident (virtual) CTAs."""
+        return max(1, int(self.cfg.vt_max_resident_multiplier * self.active_limit(kernel)))
+
+    # -- admission -----------------------------------------------------------------
+
+    def can_accept(self, kernel) -> bool:
+        return (
+            self.resources.capacity_fits(kernel)
+            and len(self.resident) < self.resident_limit(kernel)
+        )
+
+    def on_assign(self, cta: CTA, now: int) -> None:
+        super().on_assign(cta, now)
+        if self.active_cta_count <= self.active_limit(cta.kernel):
+            cta.state = CTAState.ACTIVE
+        else:
+            cta.state = CTAState.INACTIVE
+            cta.became_inactive_at = now
+
+    def on_cta_finish(self, cta: CTA, now: int) -> None:
+        if cta is self._swap_victim or cta is self._swap_incoming:
+            # Defensive: a CTA in the swap engine cannot retire (it cannot
+            # issue), but keep the invariant explicit.
+            raise RuntimeError("CTA finished while being context-switched")
+        super().on_cta_finish(cta, now)
+
+    # -- per-cycle swap engine -------------------------------------------------------
+
+    def update(self, now: int, warp_status) -> None:
+        if self._swap_victim is not None or self._swap_incoming is not None:
+            self._advance_swap(now)
+            return
+        self._fill_empty_active_slots(now)
+        if self._swap_victim is None and self._swap_incoming is None:
+            self._check_triggers(now, warp_status)
+
+    def _advance_swap(self, now: int) -> None:
+        if now < self._swap_phase_end:
+            self.stats.swap_busy_cycles += 1
+            return
+        if self._swap_victim is not None:
+            # Save phase done: victim's scheduling state is in backup SRAM.
+            victim = self._swap_victim
+            victim.state = CTAState.INACTIVE
+            victim.became_inactive_at = now
+            victim.stall_since = None
+            self._swap_victim = None
+            if self._swap_incoming is not None:
+                incoming = self._swap_incoming
+                incoming.state = CTAState.SWAP_IN
+                _save, restore = self.cfg.vt_swap_cycles_for(incoming.num_warps)
+                self._swap_phase_end = now + restore
+                self.stats.swap_busy_cycles += 1
+                return
+        if self._swap_incoming is not None:
+            incoming = self._swap_incoming
+            incoming.state = CTAState.ACTIVE
+            for warp in incoming.warps:
+                warp.status_until = -1
+            self._swap_incoming = None
+
+    def _fill_empty_active_slots(self, now: int) -> None:
+        """Promote a ready inactive CTA when an active slot is free (a CTA
+        retired, or startup left slots empty)."""
+        if not self.resident:
+            return
+        limit = self.active_limit(self.resident[0].kernel)
+        if self.active_cta_count >= limit:
+            return
+        candidates = [
+            c for c in self.resident
+            if c.state is CTAState.INACTIVE and c.ready_for_activation(now)
+        ]
+        if not candidates:
+            return
+        incoming = self._select(candidates, now)
+        incoming.state = CTAState.SWAP_IN
+        _save, restore = self.cfg.vt_swap_cycles_for(incoming.num_warps)
+        self._swap_incoming = incoming
+        self._swap_phase_end = now + restore
+
+    def _check_triggers(self, now: int, warp_status) -> None:
+        inactive_ready = None
+        for cta in self.resident:
+            if cta.state is not CTAState.ACTIVE or now < cta.start_cycle:
+                continue
+            if not self._trigger(cta, warp_status, now, self.cfg):
+                continue
+            if inactive_ready is None:
+                inactive_ready = [
+                    c for c in self.resident
+                    if c.state is CTAState.INACTIVE and c.ready_for_activation(now)
+                ]
+            if not inactive_ready:
+                return
+            incoming = self._select(inactive_ready, now)
+            self._begin_swap(cta, incoming, now)
+            return
+
+    def _begin_swap(self, victim: CTA, incoming: CTA, now: int) -> None:
+        victim.state = CTAState.SWAP_OUT
+        victim.times_swapped_out += 1
+        save, _restore = self.cfg.vt_swap_cycles_for(victim.num_warps)
+        self._swap_victim = victim
+        self._swap_incoming = incoming
+        self._swap_phase_end = now + save
+        self.stats.swaps += 1
+        self.stats.swap_busy_cycles += 1
+
+    # -- invariants (used by property tests) -------------------------------------
+
+    def assert_invariants(self, now: int) -> None:
+        """Raise if any architectural invariant is violated."""
+        cfg = self.cfg
+        if self.resources.regs_used > cfg.registers_per_sm:
+            raise AssertionError("register file over capacity")
+        if self.resources.smem_used > cfg.smem_per_sm:
+            raise AssertionError("shared memory over capacity")
+        if self.resident:
+            limit = self.active_limit(self.resident[0].kernel)
+            active_like = sum(
+                1 for c in self.resident
+                if c.state in (CTAState.ACTIVE, CTAState.SWAP_OUT, CTAState.SWAP_IN)
+            )
+            if active_like > limit + 1:
+                # +1: during a switch the victim (draining) and incoming
+                # (restoring) briefly coexist, as in the hardware proposal.
+                raise AssertionError(
+                    f"{active_like} CTAs hold scheduling structures, limit {limit}"
+                )
+            active_warps = sum(
+                c.num_warps for c in self.resident if c.state is CTAState.ACTIVE
+            )
+            if active_warps > cfg.max_warps_per_sm:
+                raise AssertionError("active warps exceed warp slots")

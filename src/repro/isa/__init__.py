@@ -1,0 +1,37 @@
+"""Mini SIMT instruction set: opcodes, instructions, kernels, assembler, CFG.
+
+This package defines the PTX/SASS-like instruction set executed by the
+timing simulator in :mod:`repro.sim`.  It is deliberately small but complete
+enough to express the control flow, memory behaviour and synchronization of
+the general-purpose GPU workloads evaluated by the Virtual Thread paper:
+integer/float arithmetic, predication, divergent branches with SIMT-stack
+reconvergence, global/shared memory accesses, atomics and CTA-wide barriers.
+"""
+
+from repro.isa.opcodes import Op, OpClass, OPCODE_INFO, CmpOp
+from repro.isa.instruction import Reg, Imm, SReg, MemRef, Instruction, SpecialReg
+from repro.isa.kernel import Kernel, KernelBuilder
+from repro.isa.assembler import assemble, AssemblerError
+from repro.isa.cfg import build_cfg, reconvergence_table
+from repro.isa.profile import KernelProfile, kernel_profile
+
+__all__ = [
+    "Op",
+    "OpClass",
+    "OPCODE_INFO",
+    "CmpOp",
+    "Reg",
+    "Imm",
+    "SReg",
+    "MemRef",
+    "Instruction",
+    "SpecialReg",
+    "Kernel",
+    "KernelBuilder",
+    "assemble",
+    "AssemblerError",
+    "build_cfg",
+    "reconvergence_table",
+    "KernelProfile",
+    "kernel_profile",
+]

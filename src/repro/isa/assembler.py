@@ -1,0 +1,240 @@
+"""Text assembler for the mini SIMT ISA.
+
+Grammar (line-oriented)::
+
+    .kernel <name>            start a kernel
+    .regs <n>                 architectural registers per thread
+    .smem <bytes>             static shared memory per CTA
+    .cta <x> [y] [z]          CTA dimensions
+    <label>:                  label
+    [@[!]rP] OPCODE[.CMP] operands
+
+Operands are comma-separated: ``rN`` (register), ``#v`` or a bare number
+(immediate), ``%name`` (special register), ``[rN]`` / ``[rN+off]`` /
+``[rN-off]`` (memory reference).  ``#`` at line start (or ``//`` anywhere)
+begins a comment; ``;`` separates nothing (not supported).
+
+Example::
+
+    .kernel saxpy
+    .regs 8
+    .cta 128
+    entry:
+        S2R   r0, %ctaid_x
+        S2R   r1, %ntid_x
+        S2R   r2, %tid_x
+        IMAD  r3, r0, r1, r2        // global thread id
+        SHL   r4, r3, #2            // byte offset
+        LDG   r5, [r4]
+        FMUL  r5, r5, #2.0
+        STG   [r4], r5
+        EXIT
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.instruction import Imm, Instruction, MemRef, Reg, SReg, SpecialReg
+from repro.isa.kernel import Kernel
+from repro.isa.opcodes import CmpOp, Op, OPCODE_INFO
+
+
+class AssemblerError(ValueError):
+    """Raised on any syntax or semantic error, with a line number."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+_MEMREF_RE = re.compile(r"^\[\s*r(\d+)\s*(?:([+-])\s*(\d+)\s*)?\]$")
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*):$")
+_PRED_RE = re.compile(r"^@(!?)r(\d+)$")
+_NUM_RE = re.compile(r"^#?-?(\d+\.?\d*(e-?\d+)?|\.\d+)$", re.IGNORECASE)
+
+
+def _parse_operand(token: str, lineno: int):
+    token = token.strip()
+    if not token:
+        raise AssemblerError(lineno, "empty operand")
+    if token[0] == "r" and token[1:].isdigit():
+        return Reg(int(token[1:]))
+    if token[0] == "%":
+        try:
+            return SReg(SpecialReg(token[1:].lower()))
+        except ValueError:
+            raise AssemblerError(lineno, f"unknown special register {token!r}") from None
+    match = _MEMREF_RE.match(token)
+    if match:
+        base, sign, off = match.groups()
+        offset = int(off or 0)
+        if sign == "-":
+            offset = -offset
+        return MemRef(Reg(int(base)), offset)
+    if _NUM_RE.match(token):
+        literal = token.lstrip("#")
+        value = float(literal)
+        if value.is_integer() and "." not in literal and "e" not in literal.lower():
+            value = int(literal)
+        return Imm(value)
+    raise AssemblerError(lineno, f"cannot parse operand {token!r}")
+
+
+def _split_operands(rest: str) -> list[str]:
+    """Split an operand string on top-level commas (commas cannot appear
+    inside ``[...]`` in this ISA, so a plain split suffices)."""
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("//", "#"):
+        idx = line.find(marker)
+        if idx == 0:
+            return ""
+        if idx > 0:
+            # '#' may also introduce an immediate: only treat it as a
+            # comment when preceded by whitespace and not followed by a digit.
+            if marker == "#" and idx + 1 < len(line) and (line[idx + 1].isdigit() or line[idx + 1] in ".-"):
+                continue
+            line = line[:idx]
+    return line.strip()
+
+
+def assemble_many(text: str) -> dict[str, Kernel]:
+    """Assemble every ``.kernel`` in ``text``; returns name -> Kernel."""
+    kernels: dict[str, Kernel] = {}
+    state: dict | None = None
+
+    def finish():
+        nonlocal state
+        if state is None:
+            return
+        for pc, (label, lineno) in state["fixups"]:
+            if label not in state["labels"]:
+                raise AssemblerError(lineno, f"undefined label {label!r}")
+            state["instrs"][pc].target = state["labels"][label]
+        kernel = Kernel(
+            name=state["name"],
+            instrs=state["instrs"],
+            regs_per_thread=state["regs"],
+            smem_bytes=state["smem"],
+            cta_dim=state["cta"],
+            labels=state["labels"],
+        )
+        kernels[kernel.name] = kernel
+        state = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".kernel":
+                finish()
+                if len(parts) != 2:
+                    raise AssemblerError(lineno, ".kernel needs a name")
+                state = {
+                    "name": parts[1],
+                    "regs": 16,
+                    "smem": 0,
+                    "cta": (32, 1, 1),
+                    "instrs": [],
+                    "labels": {},
+                    "fixups": [],
+                }
+            elif state is None:
+                raise AssemblerError(lineno, f"{directive} before .kernel")
+            elif directive == ".regs":
+                state["regs"] = int(parts[1])
+            elif directive == ".smem":
+                state["smem"] = int(parts[1])
+            elif directive == ".cta":
+                dims = [int(p) for p in parts[1:4]]
+                while len(dims) < 3:
+                    dims.append(1)
+                state["cta"] = tuple(dims)
+            else:
+                raise AssemblerError(lineno, f"unknown directive {directive!r}")
+            continue
+
+        if state is None:
+            raise AssemblerError(lineno, "instruction before .kernel")
+
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            name = label_match.group(1)
+            if name in state["labels"]:
+                raise AssemblerError(lineno, f"duplicate label {name!r}")
+            state["labels"][name] = len(state["instrs"])
+            continue
+
+        tokens = line.split(None, 1)
+        pred: Reg | None = None
+        pred_neg = False
+        pred_match = _PRED_RE.match(tokens[0])
+        if pred_match:
+            pred_neg = pred_match.group(1) == "!"
+            pred = Reg(int(pred_match.group(2)))
+            if len(tokens) == 1:
+                raise AssemblerError(lineno, "predicate without instruction")
+            tokens = tokens[1].split(None, 1)
+
+        mnemonic = tokens[0].upper()
+        rest = tokens[1] if len(tokens) > 1 else ""
+        cmp = None
+        if "." in mnemonic:
+            base, suffix = mnemonic.split(".", 1)
+            mnemonic = base
+            try:
+                cmp = CmpOp(suffix.lower())
+            except ValueError:
+                raise AssemblerError(lineno, f"unknown comparison {suffix!r}") from None
+        try:
+            op = Op(mnemonic)
+        except ValueError:
+            raise AssemblerError(lineno, f"unknown opcode {mnemonic!r}") from None
+
+        info = OPCODE_INFO[op]
+        if op is Op.BRA:
+            target = rest.strip()
+            if not target:
+                raise AssemblerError(lineno, "BRA needs a target label")
+            instr = Instruction(op=op, target=-1, pred=pred, pred_neg=pred_neg)
+            state["fixups"].append((len(state["instrs"]), (target, lineno)))
+            state["instrs"].append(instr)
+            continue
+
+        operands = [_parse_operand(tok, lineno) for tok in _split_operands(rest)]
+        dst = None
+        if info.has_dst:
+            if not operands or not isinstance(operands[0], Reg):
+                raise AssemblerError(lineno, f"{op.value} needs a register destination")
+            dst = operands.pop(0)
+        if len(operands) != info.num_srcs:
+            raise AssemblerError(
+                lineno, f"{op.value} expects {info.num_srcs} sources, got {len(operands)}"
+            )
+        if op is Op.SETP and cmp is None:
+            raise AssemblerError(lineno, "SETP needs a comparison suffix, e.g. SETP.LT")
+        state["instrs"].append(
+            Instruction(op=op, dst=dst, srcs=tuple(operands), cmp=cmp, pred=pred, pred_neg=pred_neg)
+        )
+
+    finish()
+    if not kernels:
+        raise AssemblerError(0, "no .kernel found")
+    return kernels
+
+
+def assemble(text: str) -> Kernel:
+    """Assemble exactly one kernel from ``text``."""
+    kernels = assemble_many(text)
+    if len(kernels) != 1:
+        raise AssemblerError(0, f"expected exactly one kernel, found {len(kernels)}")
+    return next(iter(kernels.values()))

@@ -1,0 +1,120 @@
+"""Control-flow-graph analysis: basic blocks and reconvergence points.
+
+SIMT divergence is handled with a reconvergence stack (see
+:mod:`repro.sim.warp`).  The reconvergence PC of every conditional branch is
+its *immediate post-dominator* — the first instruction that every divergent
+path is guaranteed to reach.  We compute immediate post-dominators as
+immediate dominators of the reversed CFG (networkx provides the classic
+Cooper-Harvey-Kennedy algorithm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.isa.opcodes import Op
+
+#: Sentinel reconvergence PC meaning "paths only rejoin at kernel exit".
+EXIT_PC = -1
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction run ``[start, end)``."""
+
+    index: int
+    start: int
+    end: int  # exclusive
+    successors: list[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return f"BB{self.index}[{self.start}:{self.end}] -> {self.successors}"
+
+
+def build_cfg(instrs) -> list[BasicBlock]:
+    """Partition ``instrs`` into basic blocks with successor edges.
+
+    Leaders are: PC 0, every branch target, and every instruction following
+    a branch or EXIT.  Unreachable blocks are kept (they simply have no
+    predecessors) so PCs map cleanly onto blocks.
+    """
+    n = len(instrs)
+    leaders = {0}
+    for pc, instr in enumerate(instrs):
+        if instr.op is Op.BRA:
+            leaders.add(instr.target)
+            if pc + 1 < n:
+                leaders.add(pc + 1)
+        elif instr.op is Op.EXIT and pc + 1 < n:
+            leaders.add(pc + 1)
+    starts = sorted(leaders)
+    blocks: list[BasicBlock] = []
+    for i, start in enumerate(starts):
+        end = starts[i + 1] if i + 1 < len(starts) else n
+        blocks.append(BasicBlock(index=i, start=start, end=end))
+    start_to_block = {b.start: b.index for b in blocks}
+
+    for block in blocks:
+        last = instrs[block.end - 1]
+        if last.op is Op.EXIT:
+            continue
+        if last.op is Op.BRA:
+            block.successors.append(start_to_block[last.target])
+            if last.pred is not None and block.end < n:
+                block.successors.append(start_to_block[block.end])
+        elif block.end < n:
+            block.successors.append(start_to_block[block.end])
+    return blocks
+
+
+def reconvergence_table(instrs) -> dict[int, int]:
+    """Map each conditional-branch PC to its reconvergence PC.
+
+    Returns ``EXIT_PC`` for branches whose divergent paths only rejoin at
+    kernel exit.
+    """
+    blocks = build_cfg(instrs)
+    graph = nx.DiGraph()
+    exit_node = "exit"
+    graph.add_node(exit_node)
+    for block in blocks:
+        graph.add_node(block.index)
+        if block.successors:
+            for succ in block.successors:
+                graph.add_edge(block.index, succ)
+        else:
+            graph.add_edge(block.index, exit_node)
+    # Immediate post-dominators = immediate dominators of the reverse graph.
+    # Restrict to nodes that can reach exit (all blocks ending in EXIT do;
+    # infinite loops cannot diverge-reconverge meaningfully anyway).
+    reverse = graph.reverse()
+    ipdom = nx.immediate_dominators(reverse, exit_node)
+
+    pc_to_block = {}
+    for block in blocks:
+        for pc in range(block.start, block.end):
+            pc_to_block[pc] = block
+
+    table: dict[int, int] = {}
+    for pc, instr in enumerate(instrs):
+        if instr.op is not Op.BRA or instr.pred is None:
+            continue
+        block = pc_to_block[pc]
+        node = ipdom.get(block.index)
+        # Walk up: the immediate post-dominator of the *branch* is the
+        # ipdom of its block (the branch is the block's last instruction).
+        if node is None or node == exit_node:
+            table[pc] = EXIT_PC
+        else:
+            target_block = blocks[node]
+            table[pc] = target_block.start
+    return table
+
+
+def annotate_reconvergence(kernel) -> None:
+    """Fill ``Instruction.reconv_pc`` for every conditional branch."""
+    table = reconvergence_table(kernel.instrs)
+    for pc, rpc in table.items():
+        kernel.instrs[pc].reconv_pc = rpc

@@ -1,0 +1,331 @@
+"""Kernel objects: an instruction sequence plus launch/resource metadata.
+
+A :class:`Kernel` is the unit handed to the simulator.  Besides the code it
+carries the per-thread register footprint and per-CTA shared-memory
+footprint that the hardware resource allocators (and the occupancy
+calculator in :mod:`repro.core.occupancy`) use.  The *declared* footprints
+may exceed what the code actually touches: real compilers frequently
+allocate more registers than a hand count of the assembly suggests, and the
+Virtual Thread paper's benchmark classification depends on those footprints,
+so they are first-class, overridable metadata here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Imm, Instruction, MemRef, Reg, SReg
+from repro.isa.opcodes import CmpOp, Op, OPCODE_INFO
+
+
+class KernelValidationError(ValueError):
+    """Raised when a kernel fails static validation."""
+
+
+@dataclass
+class Kernel:
+    """An assembled kernel ready for launch.
+
+    Attributes:
+        name: Kernel name (used in reports).
+        instrs: The instruction sequence; PCs are indices into this list.
+        regs_per_thread: Architectural registers each thread needs.
+        smem_bytes: Static shared memory per CTA, in bytes.
+        cta_dim: Threads per CTA (x, y, z).
+        labels: Label name -> PC mapping (informational, kept for disassembly).
+    """
+
+    name: str
+    instrs: list[Instruction]
+    regs_per_thread: int
+    smem_bytes: int = 0
+    cta_dim: tuple[int, int, int] = (32, 1, 1)
+    labels: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.validate()
+        # Reconvergence PCs are computed lazily on first launch; import here
+        # to avoid a cycle at module load.
+        from repro.isa.cfg import annotate_reconvergence
+
+        annotate_reconvergence(self)
+
+    @property
+    def threads_per_cta(self) -> int:
+        x, y, z = self.cta_dim
+        return x * y * z
+
+    def warps_per_cta(self, warp_size: int = 32) -> int:
+        return -(-self.threads_per_cta // warp_size)
+
+    def validate(self) -> None:
+        """Static sanity checks; raises :class:`KernelValidationError`."""
+        if not self.instrs:
+            raise KernelValidationError(f"kernel {self.name!r} has no instructions")
+        if not any(i.op is Op.EXIT for i in self.instrs):
+            raise KernelValidationError(f"kernel {self.name!r} has no EXIT")
+        if self.threads_per_cta <= 0:
+            raise KernelValidationError(f"kernel {self.name!r} has empty CTA {self.cta_dim}")
+        max_reg = max((i.max_reg() for i in self.instrs), default=-1)
+        if max_reg >= self.regs_per_thread:
+            raise KernelValidationError(
+                f"kernel {self.name!r} uses r{max_reg} but declares only "
+                f"{self.regs_per_thread} registers per thread"
+            )
+        for pc, instr in enumerate(self.instrs):
+            info = OPCODE_INFO[instr.op]
+            if instr.op is Op.BRA:
+                if instr.target is None:
+                    raise KernelValidationError(f"{self.name}@{pc}: BRA without target")
+                if not 0 <= instr.target < len(self.instrs):
+                    raise KernelValidationError(
+                        f"{self.name}@{pc}: branch target {instr.target} out of range"
+                    )
+            elif info.has_dst and instr.dst is None:
+                raise KernelValidationError(f"{self.name}@{pc}: {instr.op.value} needs a destination")
+            if instr.op is Op.SETP and instr.cmp is None:
+                raise KernelValidationError(f"{self.name}@{pc}: SETP without comparison kind")
+
+    def disassemble(self) -> str:
+        """Human-readable listing with PCs and labels."""
+        pc_labels: dict[int, list[str]] = {}
+        for label, pc in self.labels.items():
+            pc_labels.setdefault(pc, []).append(label)
+        lines = [f".kernel {self.name}  (regs={self.regs_per_thread}, smem={self.smem_bytes}B, cta={self.cta_dim})"]
+        for pc, instr in enumerate(self.instrs):
+            for label in pc_labels.get(pc, ()):
+                lines.append(f"{label}:")
+            lines.append(f"  {pc:4d}: {instr!r}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Kernel({self.name!r}, {len(self.instrs)} instrs, regs={self.regs_per_thread})"
+
+
+class KernelBuilder:
+    """Fluent programmatic construction of :class:`Kernel` objects.
+
+    Example::
+
+        b = KernelBuilder("axpy", regs_per_thread=8, cta_dim=(128, 1, 1))
+        b.s2r(0, "ctaid_x").s2r(1, "ntid_x").s2r(2, "tid_x")
+        b.imad(3, 0, 1, 2)                 # global thread id
+        ...
+        b.exit()
+        kernel = b.build()
+
+    Branch targets may be forward references: ``b.bra("done", pred=5)``
+    before ``b.label("done")`` is legal; labels are resolved at build time.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        regs_per_thread: int,
+        smem_bytes: int = 0,
+        cta_dim: tuple[int, int, int] = (32, 1, 1),
+    ):
+        self.name = name
+        self.regs_per_thread = regs_per_thread
+        self.smem_bytes = smem_bytes
+        self.cta_dim = cta_dim
+        self._instrs: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._fixups: list[tuple[int, str]] = []
+
+    # -- structural helpers -------------------------------------------------
+
+    def label(self, name: str) -> "KernelBuilder":
+        if name in self._labels:
+            raise KernelValidationError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instrs)
+        return self
+
+    def emit(self, instr: Instruction) -> "KernelBuilder":
+        self._instrs.append(instr)
+        return self
+
+    def _src(self, operand) -> Reg | Imm:
+        """Coerce ints that look like register ids vs immediates.
+
+        Plain ``int`` arguments denote *registers*; use :class:`Imm` (or the
+        ``imm()`` helper) for literal values.  Floats are always immediates.
+        """
+        if isinstance(operand, (Reg, Imm, SReg, MemRef)):
+            return operand
+        if isinstance(operand, bool):
+            raise TypeError("ambiguous bool operand; use Imm explicitly")
+        if isinstance(operand, int):
+            return Reg(operand)
+        if isinstance(operand, float):
+            return Imm(operand)
+        raise TypeError(f"bad operand {operand!r}")
+
+    def _op(self, op: Op, dst: int | None, *srcs, cmp: CmpOp | None = None,
+            pred: int | None = None, pred_neg: bool = False) -> "KernelBuilder":
+        instr = Instruction(
+            op=op,
+            dst=Reg(dst) if dst is not None else None,
+            srcs=tuple(self._src(s) for s in srcs),
+            cmp=cmp,
+            pred=Reg(pred) if pred is not None else None,
+            pred_neg=pred_neg,
+        )
+        return self.emit(instr)
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def iadd(self, d, a, b, **kw):
+        return self._op(Op.IADD, d, a, b, **kw)
+
+    def isub(self, d, a, b, **kw):
+        return self._op(Op.ISUB, d, a, b, **kw)
+
+    def imul(self, d, a, b, **kw):
+        return self._op(Op.IMUL, d, a, b, **kw)
+
+    def imad(self, d, a, b, c, **kw):
+        return self._op(Op.IMAD, d, a, b, c, **kw)
+
+    def idiv(self, d, a, b, **kw):
+        return self._op(Op.IDIV, d, a, b, **kw)
+
+    def irem(self, d, a, b, **kw):
+        return self._op(Op.IREM, d, a, b, **kw)
+
+    def imin(self, d, a, b, **kw):
+        return self._op(Op.IMIN, d, a, b, **kw)
+
+    def imax(self, d, a, b, **kw):
+        return self._op(Op.IMAX, d, a, b, **kw)
+
+    def and_(self, d, a, b, **kw):
+        return self._op(Op.AND, d, a, b, **kw)
+
+    def or_(self, d, a, b, **kw):
+        return self._op(Op.OR, d, a, b, **kw)
+
+    def xor(self, d, a, b, **kw):
+        return self._op(Op.XOR, d, a, b, **kw)
+
+    def shl(self, d, a, b, **kw):
+        return self._op(Op.SHL, d, a, b, **kw)
+
+    def shr(self, d, a, b, **kw):
+        return self._op(Op.SHR, d, a, b, **kw)
+
+    def fadd(self, d, a, b, **kw):
+        return self._op(Op.FADD, d, a, b, **kw)
+
+    def fsub(self, d, a, b, **kw):
+        return self._op(Op.FSUB, d, a, b, **kw)
+
+    def fmul(self, d, a, b, **kw):
+        return self._op(Op.FMUL, d, a, b, **kw)
+
+    def ffma(self, d, a, b, c, **kw):
+        return self._op(Op.FFMA, d, a, b, c, **kw)
+
+    def fdiv(self, d, a, b, **kw):
+        return self._op(Op.FDIV, d, a, b, **kw)
+
+    def fmin(self, d, a, b, **kw):
+        return self._op(Op.FMIN, d, a, b, **kw)
+
+    def fmax(self, d, a, b, **kw):
+        return self._op(Op.FMAX, d, a, b, **kw)
+
+    def fsqrt(self, d, a, **kw):
+        return self._op(Op.FSQRT, d, a, **kw)
+
+    def fexp(self, d, a, **kw):
+        return self._op(Op.FEXP, d, a, **kw)
+
+    def fabs(self, d, a, **kw):
+        return self._op(Op.FABS, d, a, **kw)
+
+    def i2f(self, d, a, **kw):
+        return self._op(Op.I2F, d, a, **kw)
+
+    def f2i(self, d, a, **kw):
+        return self._op(Op.F2I, d, a, **kw)
+
+    def mov(self, d, a, **kw):
+        return self._op(Op.MOV, d, a, **kw)
+
+    def movi(self, d, value: float, **kw):
+        return self._op(Op.MOV, d, Imm(value), **kw)
+
+    def sel(self, d, cond, a, b, **kw):
+        return self._op(Op.SEL, d, cond, a, b, **kw)
+
+    def s2r(self, d, which: str, **kw):
+        from repro.isa.instruction import SpecialReg
+
+        return self._op(Op.S2R, d, SReg(SpecialReg(which)), **kw)
+
+    def setp(self, cmp: str | CmpOp, d, a, b, **kw):
+        cmp_op = CmpOp(cmp) if isinstance(cmp, str) else cmp
+        return self._op(Op.SETP, d, a, b, cmp=cmp_op, **kw)
+
+    # -- memory ---------------------------------------------------------------
+
+    def ldg(self, d, base: int, offset: int = 0, **kw):
+        return self._op(Op.LDG, d, MemRef(Reg(base), offset), **kw)
+
+    def stg(self, base: int, src, offset: int = 0, **kw):
+        return self._op(Op.STG, None, MemRef(Reg(base), offset), src, **kw)
+
+    def lds(self, d, base: int, offset: int = 0, **kw):
+        return self._op(Op.LDS, d, MemRef(Reg(base), offset), **kw)
+
+    def sts(self, base: int, src, offset: int = 0, **kw):
+        return self._op(Op.STS, None, MemRef(Reg(base), offset), src, **kw)
+
+    def atomg_add(self, d, base: int, src, offset: int = 0, **kw):
+        return self._op(Op.ATOMG_ADD, d, MemRef(Reg(base), offset), src, **kw)
+
+    def atoms_add(self, d, base: int, src, offset: int = 0, **kw):
+        return self._op(Op.ATOMS_ADD, d, MemRef(Reg(base), offset), src, **kw)
+
+    def atomg_max(self, d, base: int, src, offset: int = 0, **kw):
+        return self._op(Op.ATOMG_MAX, d, MemRef(Reg(base), offset), src, **kw)
+
+    # -- control --------------------------------------------------------------
+
+    def bra(self, target: str, pred: int | None = None, pred_neg: bool = False):
+        instr = Instruction(
+            op=Op.BRA,
+            target=-1,
+            pred=Reg(pred) if pred is not None else None,
+            pred_neg=pred_neg,
+        )
+        self._fixups.append((len(self._instrs), target))
+        return self.emit(instr)
+
+    def bar(self):
+        return self._op(Op.BAR, None)
+
+    def exit(self):
+        return self._op(Op.EXIT, None)
+
+    def nop(self, count: int = 1):
+        for _ in range(count):
+            self._op(Op.NOP, None)
+        return self
+
+    # -- finalization -----------------------------------------------------------
+
+    def build(self) -> Kernel:
+        for pc, label in self._fixups:
+            if label not in self._labels:
+                raise KernelValidationError(f"undefined label {label!r} in {self.name!r}")
+            self._instrs[pc].target = self._labels[label]
+        return Kernel(
+            name=self.name,
+            instrs=self._instrs,
+            regs_per_thread=self.regs_per_thread,
+            smem_bytes=self.smem_bytes,
+            cta_dim=self.cta_dim,
+            labels=dict(self._labels),
+        )

@@ -1,0 +1,107 @@
+"""Static kernel analysis: instruction mix, control flow, memory shape.
+
+``kernel_profile`` inspects a kernel without running it — the static
+counterpart of the simulator's dynamic instruction-mix statistics.  It is
+what the benchmark table (E2) and the CLI's ``profile`` command report,
+and a quick sanity check when writing new kernels ("does this really have
+the barrier density I intended?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.cfg import build_cfg
+from repro.isa.opcodes import Op, OpClass, OPCODE_INFO
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Static facts about one kernel's code."""
+
+    name: str
+    num_instructions: int
+    by_class: dict[str, int]
+    global_loads: int
+    global_stores: int
+    shared_ops: int
+    atomics: int
+    barriers: int
+    conditional_branches: int
+    loops: int  # backward conditional branches
+    predicated: int
+    basic_blocks: int
+    max_register: int
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Static compute ops per global-memory op (∞-safe)."""
+        compute = (
+            self.by_class.get("alu", 0)
+            + self.by_class.get("mul", 0)
+            + self.by_class.get("fpu", 0)
+            + self.by_class.get("sfu", 0)
+        )
+        mem = self.global_loads + self.global_stores
+        return compute / mem if mem else float("inf")
+
+    def rows(self) -> list[tuple[str, str]]:
+        mix = ", ".join(f"{k}:{v}" for k, v in sorted(self.by_class.items()))
+        return [
+            ("instructions", str(self.num_instructions)),
+            ("mix", mix),
+            ("global loads / stores", f"{self.global_loads} / {self.global_stores}"),
+            ("shared-memory ops", str(self.shared_ops)),
+            ("atomics", str(self.atomics)),
+            ("barriers", str(self.barriers)),
+            ("conditional branches (loops)", f"{self.conditional_branches} ({self.loops})"),
+            ("predicated instructions", str(self.predicated)),
+            ("basic blocks", str(self.basic_blocks)),
+            ("highest register", f"r{self.max_register}"),
+            ("static arithmetic intensity", f"{self.arithmetic_intensity:.1f} ops/mem-op"),
+        ]
+
+
+def kernel_profile(kernel) -> KernelProfile:
+    """Compute the static profile of ``kernel``."""
+    by_class: dict[str, int] = {}
+    global_loads = global_stores = shared_ops = atomics = 0
+    barriers = cond_branches = loops = predicated = 0
+    max_register = -1
+    for pc, instr in enumerate(kernel.instrs):
+        info = OPCODE_INFO[instr.op]
+        key = info.op_class.value
+        by_class[key] = by_class.get(key, 0) + 1
+        max_register = max(max_register, instr.max_reg())
+        if instr.pred is not None and instr.op is not Op.BRA:
+            predicated += 1
+        if info.is_atomic:
+            atomics += 1
+        if info.op_class is OpClass.MEM_SHARED:
+            shared_ops += 1
+        elif info.op_class is OpClass.MEM_GLOBAL:
+            if info.is_store:
+                global_stores += 1
+            elif not info.is_atomic:
+                global_loads += 1
+        if instr.op is Op.BAR:
+            barriers += 1
+        if instr.is_conditional_branch:
+            cond_branches += 1
+            if instr.target is not None and instr.target <= pc:
+                loops += 1
+    return KernelProfile(
+        name=kernel.name,
+        num_instructions=len(kernel.instrs),
+        by_class=by_class,
+        global_loads=global_loads,
+        global_stores=global_stores,
+        shared_ops=shared_ops,
+        atomics=atomics,
+        barriers=barriers,
+        conditional_branches=cond_branches,
+        loops=loops,
+        predicated=predicated,
+        basic_blocks=len(build_cfg(kernel.instrs)),
+        max_register=max_register,
+    )

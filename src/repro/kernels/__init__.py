@@ -1,0 +1,20 @@
+"""Benchmark kernel library.
+
+Twenty-one mini-ISA kernels modeled on the Rodinia / Parboil / CUDA-SDK
+workloads the Virtual Thread paper evaluates, each paired with a
+deterministic workload generator and a numpy reference so every timing run
+doubles as a correctness check.  See :mod:`repro.kernels.registry` for the
+suite and :mod:`repro.kernels.base` for the :class:`Benchmark` contract.
+"""
+
+from repro.kernels.base import Benchmark, CheckFailure, Prepared
+from repro.kernels.registry import all_benchmarks, by_category, get
+
+__all__ = [
+    "Benchmark",
+    "CheckFailure",
+    "Prepared",
+    "all_benchmarks",
+    "by_category",
+    "get",
+]

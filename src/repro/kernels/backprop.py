@@ -1,0 +1,112 @@
+"""backprop — neural-network layer-forward with shared-memory reduction.
+
+Models Rodinia's backprop layerforward kernel: a 16×16 CTA computes
+``in[ty] * w[ty][j]`` products, tree-reduces them over ``ty`` in shared
+memory (barrier per level), and row 0 applies the sigmoid (SFU exp/div)
+before storing the activations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.kernels.base import Benchmark, Prepared, expect_close, make_gmem
+from repro.workloads import random_array
+
+TILE = 16
+HIDDEN = TILE  # input units per layer slice
+
+# param0=&in (16), param1=&w (16×OUT), param2=&out (OUT), param3=OUT
+ASM = f"""
+.kernel backprop
+.regs 20
+.smem {TILE * TILE * 4}
+.cta {TILE} {TILE}
+entry:
+    S2R   r0, %tid_x
+    S2R   r1, %tid_y
+    S2R   r2, %ctaid_x
+    S2R   r3, %param3           // OUT (total output units)
+    SHL   r4, r2, #4
+    IADD  r4, r4, r0            // output unit j
+    SHL   r5, r1, #2
+    S2R   r6, %param0
+    IADD  r5, r5, r6
+    LDG   r7, [r5]              // in[ty]
+    IMAD  r8, r1, r3, r4
+    SHL   r8, r8, #2
+    S2R   r9, %param1
+    IADD  r8, r8, r9
+    LDG   r10, [r8]             // w[ty][j]
+    FMUL  r7, r7, r10
+    SHL   r11, r1, #4
+    IADD  r11, r11, r0
+    SHL   r11, r11, #2          // smem[ty][tx]
+    STS   [r11], r7
+    BAR
+    MOV   r12, #{TILE // 2}
+rloop:
+    SETP.LT r13, r1, r12
+    SHL   r14, r12, #6          // partner offset: s rows × 64 bytes
+    IADD  r14, r11, r14
+@r13 LDS  r15, [r11]
+@r13 LDS  r16, [r14]
+@r13 FADD r15, r15, r16
+@r13 STS  [r11], r15
+    BAR
+    SHR   r12, r12, #1
+    SETP.GE r13, r12, #1
+@r13 BRA  rloop
+    SETP.EQ r13, r1, #0
+@r13 LDS  r15, [r11]            // column sum (ty == 0 row)
+    MOV   r16, #0.0
+    FSUB  r15, r16, r15
+    FEXP  r15, r15              // exp(-sum)
+    FADD  r15, r15, #1.0
+    MOV   r17, #1.0
+    FDIV  r15, r17, r15         // sigmoid
+    SHL   r18, r4, #2
+    S2R   r19, %param2
+    IADD  r18, r18, r19
+@r13 STG  [r18], r15
+    EXIT
+"""
+
+KERNEL = assemble(ASM)
+
+
+def prepare(scale: float = 1.0) -> Prepared:
+    grid = max(2, int(24 * scale))
+    out_units = TILE * grid
+    inputs = random_array(HIDDEN, seed=121)
+    weights = random_array(HIDDEN * out_units, seed=122).reshape(HIDDEN, out_units)
+    sums = inputs @ weights
+    reference = 1.0 / (1.0 + np.exp(-sums))
+
+    gmem = make_gmem()
+    gmem.alloc("in", HIDDEN)
+    gmem.alloc("w", HIDDEN * out_units)
+    gmem.alloc("out", out_units)
+    gmem.write("in", inputs)
+    gmem.write("w", weights)
+
+    def check(result):
+        expect_close(result, "out", reference, rtol=1e-9)
+
+    return Prepared(
+        gmem=gmem,
+        grid_dim=(grid, 1, 1),
+        params=(gmem.base("in"), gmem.base("w"), gmem.base("out"), out_units),
+        check=check,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="backprop",
+    suite="Rodinia",
+    description="Layer-forward: products + shared-memory tree + sigmoid",
+    category="sync",
+    kernel=KERNEL,
+    prepare=prepare,
+)

@@ -1,0 +1,77 @@
+"""Benchmark plumbing: a kernel plus its workload and correctness check.
+
+Each benchmark module builds one :class:`Benchmark`: the assembled kernel,
+a ``prepare(scale)`` factory that allocates fresh global memory with
+deterministic inputs, and a check that compares device results against a
+numpy reference.  ``scale`` grows the grid (≈ linearly in work) so the
+same benchmark serves quick tests (scale<1) and the full harness.
+
+``category`` tags the benchmark with its dominant behaviour — the axis the
+paper's per-benchmark discussion is organized around:
+
+* ``streaming``  — coalesced, bandwidth-bound (little VT headroom even
+  when scheduling-limited: DRAM is already saturated),
+* ``latency``    — memory-latency-bound (VT's sweet spot),
+* ``irregular``  — data-dependent accesses/divergence,
+* ``sync``       — barrier-heavy,
+* ``compute``    — arithmetic-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.isa.kernel import Kernel
+from repro.sim.gpu import LaunchResult
+from repro.sim.memory import GlobalMemory
+
+CATEGORIES = ("streaming", "latency", "irregular", "sync", "compute")
+
+
+class CheckFailure(AssertionError):
+    """Device output did not match the numpy reference."""
+
+
+@dataclass
+class Prepared:
+    """A ready-to-launch workload instance."""
+
+    gmem: GlobalMemory
+    grid_dim: tuple[int, int, int]
+    params: tuple[float, ...]
+    check: Callable[[LaunchResult], None]
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One benchmark: kernel + workload factory + metadata."""
+
+    name: str
+    suite: str  # the real suite this models (for the paper's Table 2)
+    description: str
+    category: str
+    kernel: Kernel
+    prepare: Callable[[float], Prepared] = field(compare=False)
+
+    def __post_init__(self):
+        if self.category not in CATEGORIES:
+            raise ValueError(f"{self.name}: unknown category {self.category!r}")
+
+
+def expect_close(result: LaunchResult, name: str, reference: np.ndarray,
+                 rtol: float = 1e-9, atol: float = 1e-9) -> None:
+    """Assert a device buffer matches ``reference`` (used by checks)."""
+    got = result.read(name, len(reference))
+    if not np.allclose(got, reference, rtol=rtol, atol=atol):
+        bad = int(np.argmax(~np.isclose(got, reference, rtol=rtol, atol=atol)))
+        raise CheckFailure(
+            f"{result.kernel.name}: buffer {name!r} mismatch at [{bad}]: "
+            f"got {got[bad]!r}, want {reference[bad]!r}"
+        )
+
+
+def make_gmem(size_bytes: int = 1 << 23) -> GlobalMemory:
+    return GlobalMemory(size_bytes=size_bytes)

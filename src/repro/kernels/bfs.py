@@ -1,0 +1,108 @@
+"""bfs — one level-synchronous BFS expansion over a CSR graph.
+
+Models Rodinia's BFS: a thread per node, data-dependent neighbour loops,
+scattered loads and benign racy level updates (all writers store the same
+value).  Irregular control flow + uncoalesced traffic make it scheduling-
+limited and latency-bound — the paper's highest-gain class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.kernels.base import Benchmark, CheckFailure, Prepared, make_gmem
+from repro.workloads.graphs import INF_LEVEL, bfs_expand_level, bfs_levels, random_csr_graph
+
+CTA_THREADS = 64
+CURRENT_LEVEL = 3  # expand a mid-traversal level (large frontier = real work)
+
+# param0=&rowptr, param1=&col, param2=&level, param3=N, param4=current level
+ASM = f"""
+.kernel bfs
+.regs 18
+.cta {CTA_THREADS}
+entry:
+    S2R   r0, %ctaid_x
+    S2R   r1, %ntid_x
+    S2R   r2, %tid_x
+    IMAD  r3, r0, r1, r2        // node v
+    S2R   r4, %param2
+    SHL   r5, r3, #2
+    IADD  r6, r4, r5
+    LDG   r6, [r6]              // level[v]
+    S2R   r7, %param4
+    SETP.NE r8, r6, r7
+@r8  BRA  done
+    S2R   r9, %param0
+    IADD  r10, r9, r5
+    LDG   r11, [r10]            // j = rowptr[v]
+    LDG   r12, [r10+4]          // end = rowptr[v+1]
+    SETP.GE r13, r11, r12
+@r13 BRA  done
+    S2R   r14, %param1
+    IADD  r15, r7, #1           // next level
+nbloop:
+    SHL   r16, r11, #2
+    IADD  r16, r16, r14
+    LDG   r17, [r16]            // w = col[j]
+    SHL   r16, r17, #2
+    IADD  r16, r16, r4          // &level[w]
+    LDG   r17, [r16]
+    SETP.EQ r13, r17, #{INF_LEVEL}
+@r13 STG  [r16], r15            // claim unvisited neighbour
+    IADD  r11, r11, #1
+    SETP.LT r13, r11, r12
+@r13 BRA  nbloop
+done:
+    EXIT
+"""
+
+KERNEL = assemble(ASM)
+
+
+def prepare(scale: float = 1.0) -> Prepared:
+    grid = max(2, int(32 * scale))
+    num_nodes = CTA_THREADS * grid
+    row_ptr, col_idx = random_csr_graph(num_nodes, avg_degree=6, seed=61)
+    level = bfs_levels(row_ptr, col_idx, source=0, max_level=CURRENT_LEVEL)
+    reference = bfs_expand_level(row_ptr, col_idx, level, CURRENT_LEVEL)
+
+    gmem = make_gmem()
+    gmem.alloc("rowptr", num_nodes + 1)
+    gmem.alloc("col", max(1, len(col_idx)))
+    gmem.alloc("level", num_nodes)
+    gmem.write("rowptr", row_ptr)
+    gmem.write("col", col_idx)
+    gmem.write("level", level)
+
+    def check(result):
+        got = result.read("level", num_nodes)
+        if not np.array_equal(got, reference):
+            bad = int(np.argmax(got != reference))
+            raise CheckFailure(
+                f"bfs: level[{bad}] = {got[bad]}, want {reference[bad]}"
+            )
+
+    return Prepared(
+        gmem=gmem,
+        grid_dim=(grid, 1, 1),
+        params=(
+            gmem.base("rowptr"),
+            gmem.base("col"),
+            gmem.base("level"),
+            num_nodes,
+            CURRENT_LEVEL,
+        ),
+        check=check,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="bfs",
+    suite="Rodinia / ISPASS",
+    description="Level-synchronous BFS expansion, irregular CSR traversal",
+    category="irregular",
+    kernel=KERNEL,
+    prepare=prepare,
+)

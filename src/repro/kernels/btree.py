@@ -1,0 +1,90 @@
+"""btree — batched binary search over a sorted key array.
+
+Models Rodinia's b+tree lookups: every thread walks log2(N) *dependent*,
+data-scattered loads through a 64 KiB key array (larger than L1), so the
+warp serializes on L2-latency round trips — a textbook latency-bound,
+irregular VT winner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.kernels.base import Benchmark, Prepared, expect_close, make_gmem
+from repro.workloads import random_array
+
+CTA_THREADS = 64
+NUM_KEYS = 16384  # 64 KiB: misses L1, lives in L2
+
+# param0=&keys (sorted), param1=&queries, param2=&result, param3=N
+ASM = f"""
+.kernel btree
+.regs 16
+.cta {CTA_THREADS}
+entry:
+    S2R   r0, %ctaid_x
+    S2R   r1, %ntid_x
+    S2R   r2, %tid_x
+    IMAD  r3, r0, r1, r2        // query index
+    SHL   r4, r3, #2
+    S2R   r5, %param1
+    IADD  r5, r5, r4
+    LDG   r6, [r5]              // q = queries[i]
+    MOV   r7, #0                // lo
+    S2R   r8, %param3           // hi = N
+    S2R   r9, %param0
+loop:
+    IADD  r10, r7, r8
+    SHR   r10, r10, #1          // mid
+    SHL   r11, r10, #2
+    IADD  r11, r11, r9
+    LDG   r12, [r11]            // keys[mid] — dependent scattered load
+    SETP.LE r13, r12, r6
+@r13 IADD r7, r10, #1           // keys[mid] <= q: lo = mid + 1
+@!r13 MOV r8, r10               // else: hi = mid
+    ISUB  r14, r8, r7
+    SETP.GT r15, r14, #0
+@r15 BRA  loop
+    S2R   r10, %param2
+    IADD  r10, r10, r4
+    STG   [r10], r7             // upper-bound insertion point
+    EXIT
+"""
+
+KERNEL = assemble(ASM)
+
+
+def prepare(scale: float = 1.0) -> Prepared:
+    grid = max(2, int(24 * scale))
+    n = CTA_THREADS * grid
+    keys = np.sort(random_array(NUM_KEYS, seed=181))
+    queries = random_array(n, seed=182)
+    reference = np.searchsorted(keys, queries, side="right").astype(np.float64)
+
+    gmem = make_gmem()
+    gmem.alloc("keys", NUM_KEYS)
+    gmem.alloc("queries", n)
+    gmem.alloc("result", n)
+    gmem.write("keys", keys)
+    gmem.write("queries", queries)
+
+    def check(result):
+        expect_close(result, "result", reference)
+
+    return Prepared(
+        gmem=gmem,
+        grid_dim=(grid, 1, 1),
+        params=(gmem.base("keys"), gmem.base("queries"), gmem.base("result"), NUM_KEYS),
+        check=check,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="btree",
+    suite="Rodinia b+tree",
+    description="Batched binary search: dependent scattered loads",
+    category="irregular",
+    kernel=KERNEL,
+    prepare=prepare,
+)

@@ -1,0 +1,98 @@
+"""histogram — privatized shared-memory histogram with atomics.
+
+Models Parboil's histo: per-CTA shared-memory bins updated with shared
+atomics (bank-conflicted by data), merged into the global histogram with
+global atomics at the end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.kernels.base import Benchmark, Prepared, expect_close, make_gmem
+from repro.workloads import random_ints
+
+CTA_THREADS = 128
+NUM_BINS = 64
+ITEMS_PER_THREAD = 4
+
+# param0=&data, param1=&hist, param2=grid stride bytes, param3=items/thread
+ASM = f"""
+.kernel histogram
+.regs 16
+.smem {NUM_BINS * 4}
+.cta {CTA_THREADS}
+entry:
+    S2R   r0, %ctaid_x
+    S2R   r1, %ntid_x
+    S2R   r2, %tid_x
+    IMAD  r3, r0, r1, r2
+    SETP.LT r4, r2, #{NUM_BINS}
+    SHL   r5, r2, #2
+    MOV   r6, #0.0
+@r4  STS  [r5], r6              // zero the private bins
+    BAR
+    SHL   r7, r3, #2
+    S2R   r8, %param0
+    IADD  r7, r7, r8            // &data[i]
+    S2R   r9, %param2           // grid stride in bytes
+    MOV   r10, #0
+hloop:
+    LDG   r11, [r7]
+    F2I   r11, r11
+    SHR   r12, r11, #2          // bin = value / 4  (values in 0..255)
+    SHL   r12, r12, #2
+    MOV   r13, #1.0
+    ATOMS_ADD r14, [r12], r13
+    IADD  r7, r7, r9
+    IADD  r10, r10, #1
+    S2R   r15, %param3
+    SETP.LT r11, r10, r15
+@r11 BRA  hloop
+    BAR
+@r4  LDS  r11, [r5]
+    S2R   r12, %param1
+    IADD  r13, r12, r5
+@r4  ATOMG_ADD r14, [r13], r11  // merge into global bins
+    EXIT
+"""
+
+KERNEL = assemble(ASM)
+
+
+def prepare(scale: float = 1.0) -> Prepared:
+    grid = max(2, int(24 * scale))
+    n = CTA_THREADS * grid * ITEMS_PER_THREAD
+    data = random_ints(n, seed=81, low=0, high=256)
+    reference = np.bincount((data.astype(np.int64) >> 2), minlength=NUM_BINS).astype(np.float64)
+
+    gmem = make_gmem()
+    gmem.alloc("data", n)
+    gmem.alloc("hist", NUM_BINS)
+    gmem.write("data", data)
+
+    def check(result):
+        expect_close(result, "hist", reference)
+
+    return Prepared(
+        gmem=gmem,
+        grid_dim=(grid, 1, 1),
+        params=(
+            gmem.base("data"),
+            gmem.base("hist"),
+            CTA_THREADS * grid * 4,
+            ITEMS_PER_THREAD,
+        ),
+        check=check,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="histogram",
+    suite="Parboil",
+    description="Privatized histogram: shared atomics + global merge",
+    category="irregular",
+    kernel=KERNEL,
+    prepare=prepare,
+)

@@ -1,0 +1,118 @@
+"""kmeans — cluster-assignment step (nested distance loops).
+
+Models Rodinia's kmeans: feature-major coalesced point loads, centroid
+loads that hit L1, and an argmin over clusters carried in predicated
+moves.  Small CTAs + repeated global loads make it scheduling-limited and
+latency-sensitive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.kernels.base import Benchmark, Prepared, expect_close, make_gmem
+from repro.workloads import random_array
+
+CTA_THREADS = 64
+NUM_CLUSTERS = 5
+NUM_FEATURES = 4
+
+# param0=&feat (feature-major D×N), param1=&cent (K×D), param2=&assign,
+# param3=N, param4=K, param5=D
+ASM = f"""
+.kernel kmeans
+.regs 21
+.cta {CTA_THREADS}
+entry:
+    S2R   r0, %ctaid_x
+    S2R   r1, %ntid_x
+    S2R   r2, %tid_x
+    IMAD  r3, r0, r1, r2        // point index i
+    S2R   r4, %param3           // N
+    S2R   r5, %param0
+    S2R   r6, %param1
+    MOV   r7, #1e30             // best distance
+    MOV   r8, #0                // best cluster
+    MOV   r9, #0                // k
+kloop:
+    MOV   r10, #0.0             // dist
+    MOV   r11, #0               // d
+    S2R   r18, %param5          // D
+    IMUL  r12, r9, r18
+    SHL   r12, r12, #2
+    IADD  r12, r12, r6          // &cent[k][0]
+dloop:
+    IMAD  r13, r11, r4, r3      // feature-major: d*N + i
+    SHL   r13, r13, #2
+    IADD  r13, r13, r5
+    LDG   r14, [r13]            // feat[d][i]
+    SHL   r15, r11, #2
+    IADD  r15, r15, r12
+    LDG   r16, [r15]            // cent[k][d]
+    FSUB  r14, r14, r16
+    FFMA  r10, r14, r14, r10
+    IADD  r11, r11, #1
+    SETP.LT r17, r11, r18
+@r17 BRA  dloop
+    SETP.LT r17, r10, r7
+@r17 MOV  r7, r10               // predicated argmin update
+@r17 MOV  r8, r9
+    IADD  r9, r9, #1
+    S2R   r19, %param4
+    SETP.LT r17, r9, r19
+@r17 BRA  kloop
+    SHL   r13, r3, #2
+    S2R   r14, %param2
+    IADD  r13, r13, r14
+    STG   [r13], r8
+    EXIT
+"""
+
+KERNEL = assemble(ASM)
+
+
+def prepare(scale: float = 1.0) -> Prepared:
+    grid = max(2, int(24 * scale))
+    n = CTA_THREADS * grid
+    features = random_array(NUM_FEATURES * n, seed=71).reshape(NUM_FEATURES, n)
+    centroids = random_array(NUM_CLUSTERS * NUM_FEATURES, seed=72).reshape(
+        NUM_CLUSTERS, NUM_FEATURES
+    )
+    # dist[i][k] = sum_d (feat[d][i] - cent[k][d])^2 ; assignment = argmin_k
+    diffs = features.T[:, None, :] - centroids[None, :, :]
+    reference = np.argmin((diffs * diffs).sum(axis=2), axis=1).astype(np.float64)
+
+    gmem = make_gmem()
+    gmem.alloc("feat", NUM_FEATURES * n)
+    gmem.alloc("cent", NUM_CLUSTERS * NUM_FEATURES)
+    gmem.alloc("assign", n)
+    gmem.write("feat", features)
+    gmem.write("cent", centroids)
+
+    def check(result):
+        expect_close(result, "assign", reference)
+
+    return Prepared(
+        gmem=gmem,
+        grid_dim=(grid, 1, 1),
+        params=(
+            gmem.base("feat"),
+            gmem.base("cent"),
+            gmem.base("assign"),
+            n,
+            NUM_CLUSTERS,
+            NUM_FEATURES,
+        ),
+        check=check,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="kmeans",
+    suite="Rodinia",
+    description="K-means assignment step: nested distance loops, argmin",
+    category="latency",
+    kernel=KERNEL,
+    prepare=prepare,
+)

@@ -1,0 +1,124 @@
+"""mm_tiled — shared-memory tiled matrix multiply (capacity-limited).
+
+The classic 16×16-tile GEMM: 256 threads/CTA with a 32-registers/thread
+footprint, so the *register file* binds residency (4 CTAs) before the
+scheduling structures do (6 CTAs) — the paper's capacity-limited class,
+where VT admission gains nothing and performance must match baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.kernels.base import Benchmark, Prepared, expect_close, make_gmem
+from repro.workloads import random_array
+
+TILE = 16
+K_DIM = 32  # shared inner dimension (2 tile steps)
+
+# param0=&A, param1=&B, param2=&C, param3=K, param4=N, param5=K/16
+ASM = f"""
+.kernel mm_tiled
+.regs 32
+.smem {2 * TILE * TILE * 4}
+.cta {TILE} {TILE}
+entry:
+    S2R   r0, %tid_x
+    S2R   r1, %tid_y
+    S2R   r2, %ctaid_x
+    S2R   r3, %ctaid_y
+    S2R   r6, %param3           // K
+    S2R   r7, %param4           // N
+    SHL   r4, r3, #4
+    IADD  r4, r4, r1            // row = by*16 + ty
+    SHL   r5, r2, #4
+    IADD  r5, r5, r0            // col = bx*16 + tx
+    IMAD  r10, r4, r6, r0       // A word index sans kt: row*K + tx
+    IMAD  r11, r1, r7, r5       // B word index sans kt: ty*N + col
+    SHL   r12, r1, #4
+    IADD  r12, r12, r0
+    SHL   r12, r12, #2          // As store byte address (ty*16+tx)*4
+    SHL   r14, r1, #6           // As row base: ty*64 bytes
+    SHL   r15, r0, #2
+    IADD  r15, r15, #{TILE * TILE * 4}  // Bs column base: 1024 + tx*4
+    MOV   r8, #0.0              // acc
+    MOV   r9, #0                // kt
+ktloop:
+    SHL   r16, r9, #4           // kt*16
+    IADD  r17, r10, r16
+    SHL   r17, r17, #2
+    S2R   r18, %param0
+    IADD  r17, r17, r18
+    LDG   r19, [r17]            // A[row][kt*16+tx]
+    STS   [r12], r19
+    IMUL  r17, r16, r7          // kt*16*N
+    IADD  r17, r17, r11
+    SHL   r17, r17, #2
+    S2R   r18, %param1
+    IADD  r17, r17, r18
+    LDG   r19, [r17]            // B[kt*16+ty][col]
+    IADD  r20, r12, #{TILE * TILE * 4}
+    STS   [r20], r19
+    BAR
+    MOV   r13, #0               // kk
+kkloop:
+    SHL   r16, r13, #2
+    IADD  r17, r14, r16
+    LDS   r18, [r17]            // As[ty][kk]
+    SHL   r16, r13, #6
+    IADD  r17, r15, r16
+    LDS   r19, [r17]            // Bs[kk][tx]
+    FFMA  r8, r18, r19, r8
+    IADD  r13, r13, #1
+    SETP.LT r16, r13, #{TILE}
+@r16 BRA  kkloop
+    BAR
+    IADD  r9, r9, #1
+    S2R   r16, %param5
+    SETP.LT r17, r9, r16
+@r17 BRA  ktloop
+    IMAD  r16, r4, r7, r5       // row*N + col
+    SHL   r16, r16, #2
+    S2R   r17, %param2
+    IADD  r16, r16, r17
+    STG   [r16], r8
+    EXIT
+"""
+
+KERNEL = assemble(ASM)
+
+
+def prepare(scale: float = 1.0) -> Prepared:
+    tiles = max(2, int(4 * scale))  # grid is tiles × tiles CTAs
+    m = n = TILE * tiles
+    k = K_DIM
+    a = random_array(m * k, seed=41).reshape(m, k)
+    b = random_array(k * n, seed=42).reshape(k, n)
+    gmem = make_gmem()
+    gmem.alloc("a", m * k)
+    gmem.alloc("b", k * n)
+    gmem.alloc("c", m * n)
+    gmem.write("a", a)
+    gmem.write("b", b)
+    reference = (a @ b).ravel()
+
+    def check(result):
+        expect_close(result, "c", reference, rtol=1e-9)
+
+    return Prepared(
+        gmem=gmem,
+        grid_dim=(tiles, tiles, 1),
+        params=(gmem.base("a"), gmem.base("b"), gmem.base("c"), k, n, k // TILE),
+        check=check,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="mm_tiled",
+    suite="CUDA SDK / Parboil sgemm",
+    description="16x16 shared-memory tiled GEMM (register capacity-limited)",
+    category="compute",
+    kernel=KERNEL,
+    prepare=prepare,
+)

@@ -1,0 +1,101 @@
+"""mriq — MRI Q-matrix-style compute kernel (SFU-bound).
+
+Models Parboil's mri-q: a long per-point loop over sample values whose
+body is dominated by special-function math (the real kernel's sin/cos are
+stood in by an sqrt + divide pair with the same SFU cost profile).
+Compute-bound: scheduling-limited on paper but with nothing for VT to
+hide, so the expected speedup is ~1.0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.kernels.base import Benchmark, Prepared, expect_close, make_gmem
+from repro.workloads import random_array
+
+CTA_THREADS = 128
+NUM_SAMPLES = 24
+
+# param0=&x, param1=&kvals, param2=&out, param3=K
+ASM = f"""
+.kernel mriq
+.regs 16
+.cta {CTA_THREADS}
+entry:
+    S2R   r0, %ctaid_x
+    S2R   r1, %ntid_x
+    S2R   r2, %tid_x
+    IMAD  r3, r0, r1, r2
+    SHL   r4, r3, #2
+    S2R   r5, %param0
+    IADD  r5, r5, r4
+    LDG   r6, [r5]              // x[i]
+    MOV   r7, #0.0              // acc
+    MOV   r8, #0                // k
+    S2R   r9, %param1
+loop:
+    SHL   r10, r8, #2
+    IADD  r10, r10, r9
+    LDG   r11, [r10]            // m = kvals[k] (uniform: one line, L1-hot)
+    FMUL  r12, r11, r6          // phase = m * x
+    FMUL  r13, r12, r12
+    FADD  r13, r13, #1.0
+    FSQRT r13, r13              // SFU (cos-cost stand-in)
+    FDIV  r12, r12, r13         // SFU (sin-cost stand-in)
+    FFMA  r7, r11, r12, r7      // acc += m * sin-like
+    IADD  r8, r8, #1
+    S2R   r14, %param3
+    SETP.LT r15, r8, r14
+@r15 BRA  loop
+    S2R   r10, %param2
+    IADD  r10, r10, r4
+    STG   [r10], r7
+    EXIT
+"""
+
+KERNEL = assemble(ASM)
+
+
+def _reference(x: np.ndarray, kvals: np.ndarray) -> np.ndarray:
+    acc = np.zeros_like(x)
+    for m in kvals:
+        phase = m * x
+        acc += m * (phase / np.sqrt(phase * phase + 1.0))
+    return acc
+
+
+def prepare(scale: float = 1.0) -> Prepared:
+    grid = max(2, int(16 * scale))
+    n = CTA_THREADS * grid
+    x = random_array(n, seed=191)
+    kvals = random_array(NUM_SAMPLES, seed=192, low=0.5, high=1.5)
+    reference = _reference(x, kvals)
+
+    gmem = make_gmem()
+    gmem.alloc("x", n)
+    gmem.alloc("kvals", NUM_SAMPLES)
+    gmem.alloc("out", n)
+    gmem.write("x", x)
+    gmem.write("kvals", kvals)
+
+    def check(result):
+        expect_close(result, "out", reference, rtol=1e-9)
+
+    return Prepared(
+        gmem=gmem,
+        grid_dim=(grid, 1, 1),
+        params=(gmem.base("x"), gmem.base("kvals"), gmem.base("out"), NUM_SAMPLES),
+        check=check,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="mriq",
+    suite="Parboil mri-q",
+    description="Per-point SFU-heavy sample loop (compute-bound)",
+    category="compute",
+    kernel=KERNEL,
+    prepare=prepare,
+)

@@ -1,0 +1,83 @@
+"""nn — nearest-neighbour distance kernel (light streaming + SFU).
+
+Models Rodinia's nn: per-record Euclidean distance to a query point from
+interleaved (lat, lng) pairs; almost no arithmetic between the loads and
+the store, so performance tracks raw memory throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.kernels.base import Benchmark, Prepared, expect_close, make_gmem
+from repro.workloads import random_array
+
+CTA_THREADS = 128
+QUERY_LAT = 30.0
+QUERY_LNG = 90.0
+
+# param0=&records (interleaved lat,lng), param1=&dist
+ASM = f"""
+.kernel nn
+.regs 14
+.cta {CTA_THREADS}
+entry:
+    S2R   r0, %ctaid_x
+    S2R   r1, %ntid_x
+    S2R   r2, %tid_x
+    IMAD  r3, r0, r1, r2        // record index
+    SHL   r4, r3, #3            // 2 words per record
+    S2R   r5, %param0
+    IADD  r5, r5, r4
+    LDG   r6, [r5]              // lat
+    LDG   r7, [r5+4]            // lng
+    FSUB  r6, r6, #{QUERY_LAT}
+    FSUB  r7, r7, #{QUERY_LNG}
+    FMUL  r6, r6, r6
+    FFMA  r6, r7, r7, r6
+    FSQRT r6, r6
+    SHL   r8, r3, #2
+    S2R   r9, %param1
+    IADD  r8, r8, r9
+    STG   [r8], r6
+    EXIT
+"""
+
+KERNEL = assemble(ASM)
+
+
+def prepare(scale: float = 1.0) -> Prepared:
+    grid = max(2, int(32 * scale))
+    n = CTA_THREADS * grid
+    lat = random_array(n, seed=141, low=0.0, high=60.0)
+    lng = random_array(n, seed=142, low=0.0, high=180.0)
+    records = np.empty(2 * n)
+    records[0::2] = lat
+    records[1::2] = lng
+    reference = np.sqrt((lat - QUERY_LAT) ** 2 + (lng - QUERY_LNG) ** 2)
+
+    gmem = make_gmem()
+    gmem.alloc("records", 2 * n)
+    gmem.alloc("dist", n)
+    gmem.write("records", records)
+
+    def check(result):
+        expect_close(result, "dist", reference, rtol=1e-9)
+
+    return Prepared(
+        gmem=gmem,
+        grid_dim=(grid, 1, 1),
+        params=(gmem.base("records"), gmem.base("dist")),
+        check=check,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="nn",
+    suite="Rodinia",
+    description="Nearest-neighbour distances over interleaved records",
+    category="streaming",
+    kernel=KERNEL,
+    prepare=prepare,
+)

@@ -1,0 +1,148 @@
+"""nw — Needleman-Wunsch block: anti-diagonal DP wavefront in shared memory.
+
+Models Rodinia's nw: a 48×48 score block computed wavefront-by-wavefront
+(95 anti-diagonals, one barrier each) with the whole DP tile held in
+shared memory.  The 9.6 KiB tile makes this the suite's *shared-memory
+capacity-limited* kernel (5 CTAs/SM fit, below the scheduling limit of
+8), so VT has little admission headroom — the smem counterpart of
+regheavy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.kernels.base import Benchmark, Prepared, expect_close, make_gmem
+from repro.workloads import random_array
+
+BLOCK = 48  # DP tile side; one thread per row
+PAD = BLOCK + 1  # padded smem stride in words
+GAP = 1.0  # gap penalty
+
+# param0=&ref (grid × BLOCK×BLOCK similarity), param1=&out (grid × BLOCK×BLOCK)
+ASM = f"""
+.kernel nw
+.regs 22
+.smem {PAD * PAD * 4}
+.cta {BLOCK}
+entry:
+    S2R   r0, %ctaid_x
+    S2R   r2, %tid_x            // row i
+    // Borders: F[0][0] = 0, F[i+1][0] = -(i+1), F[0][j+1] = -(j+1).
+    IADD  r3, r2, #1
+    I2F   r4, r3
+    MOV   r5, #0.0
+    FSUB  r4, r5, r4            // -(tid+1)
+    IMUL  r6, r3, #{PAD}
+    SHL   r6, r6, #2
+    STS   [r6], r4              // column border F[i+1][0]
+    SHL   r7, r3, #2
+    STS   [r7], r4              // row border F[0][j+1] (j = tid)
+    SETP.EQ r8, r2, #0
+    MOV   r9, #0
+@r8  STS  [r9], r5              // F[0][0] = 0
+    BAR
+    // ref row base (word index): ctaid*BLOCK*BLOCK + i*BLOCK
+    IMUL  r10, r0, #{BLOCK * BLOCK}
+    IMUL  r11, r2, #{BLOCK}
+    IADD  r10, r10, r11
+    SHL   r10, r10, #2
+    S2R   r11, %param0
+    IADD  r10, r10, r11         // &ref[cta][i][0]
+    // own smem row bases
+    IMUL  r12, r2, #{PAD}
+    SHL   r12, r12, #2          // F[i][...] byte base
+    IMUL  r13, r3, #{PAD}
+    SHL   r13, r13, #2          // F[i+1][...] byte base
+    MOV   r14, #0               // diagonal counter d
+dloop:
+    ISUB  r15, r14, r2          // j = d - i
+    SETP.GE r16, r15, #0
+    SETP.LT r17, r15, #{BLOCK}
+    AND   r16, r16, r17         // in-range predicate
+    SHL   r17, r15, #2          // j words -> bytes
+    IADD  r18, r12, r17         // &F[i][j]   (diagonal)
+@r16 LDS  r19, [r18]
+@r16 LDS  r20, [r18+4]          // &F[i][j+1] (up)
+    IADD  r18, r13, r17         // &F[i+1][j] (left)
+@r16 LDS  r21, [r18]
+    FMAX  r20, r20, r21
+    FSUB  r20, r20, #{GAP}      // max(up, left) - gap
+    IADD  r21, r10, r17
+@r16 LDG  r21, [r21]            // ref[i][j]
+    FADD  r19, r19, r21         // diag + similarity
+    FMAX  r19, r19, r20
+    IADD  r18, r13, r17
+@r16 STS  [r18+4], r19          // F[i+1][j+1]
+    BAR
+    IADD  r14, r14, #1
+    SETP.LT r16, r14, #{2 * BLOCK - 1}
+@r16 BRA  dloop
+    // Write back this thread's DP row: out[cta][i][j] = F[i+1][j+1].
+    S2R   r15, %param1
+    IMUL  r16, r0, #{BLOCK * BLOCK}
+    IMUL  r17, r2, #{BLOCK}
+    IADD  r16, r16, r17
+    SHL   r16, r16, #2
+    IADD  r15, r15, r16         // &out[cta][i][0]
+    MOV   r14, #0
+wloop:
+    SHL   r17, r14, #2
+    IADD  r18, r13, r17
+    LDS   r19, [r18+4]
+    IADD  r20, r15, r17
+    STG   [r20], r19
+    IADD  r14, r14, #1
+    SETP.LT r16, r14, #{BLOCK}
+@r16 BRA  wloop
+    EXIT
+"""
+
+KERNEL = assemble(ASM)
+
+
+def _reference(ref_block: np.ndarray) -> np.ndarray:
+    """CPU DP over one BLOCK×BLOCK similarity tile."""
+    score = np.zeros((BLOCK + 1, BLOCK + 1))
+    score[0, :] = -np.arange(BLOCK + 1) * GAP
+    score[:, 0] = -np.arange(BLOCK + 1) * GAP
+    for i in range(1, BLOCK + 1):
+        for j in range(1, BLOCK + 1):
+            score[i, j] = max(
+                score[i - 1, j - 1] + ref_block[i - 1, j - 1],
+                max(score[i - 1, j], score[i, j - 1]) - GAP,
+            )
+    return score[1:, 1:]
+
+
+def prepare(scale: float = 1.0) -> Prepared:
+    grid = max(2, int(8 * scale))
+    ref = random_array(grid * BLOCK * BLOCK, seed=211, low=-0.5, high=0.5)
+    blocks = ref.reshape(grid, BLOCK, BLOCK)
+    reference = np.concatenate([_reference(b).ravel() for b in blocks])
+
+    gmem = make_gmem()
+    gmem.alloc("ref", grid * BLOCK * BLOCK)
+    gmem.alloc("out", grid * BLOCK * BLOCK)
+    gmem.write("ref", ref)
+
+    def check(result):
+        expect_close(result, "out", reference, rtol=1e-9)
+
+    return Prepared(
+        gmem=gmem,
+        grid_dim=(grid, 1, 1),
+        params=(gmem.base("ref"), gmem.base("out")),
+        check=check,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="nw",
+    suite="Rodinia",
+    description="Needleman-Wunsch DP tile: barrier-per-diagonal, smem-capacity-limited",
+    category="sync",
+    kernel=KERNEL,
+    prepare=prepare,
+)

@@ -1,0 +1,122 @@
+"""pathfinder — dynamic-programming wavefront with two barriers per step.
+
+Models Rodinia's pathfinder: each CTA owns a block of columns held in
+shared memory; every DP step reads neighbours (clamped at the CTA edge,
+i.e. the blocked variant), synchronizes, adds the next wall row from
+global memory, and synchronizes again.  Barrier convoys interleaved with
+one global load per step are exactly the whole-CTA stall pattern VT's
+swap trigger targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.kernels.base import Benchmark, Prepared, expect_close, make_gmem
+from repro.workloads import random_array
+
+CTA_THREADS = 128
+STEPS = 12
+
+# param0=&wall ((T+1)×W row-major), param1=&out, param2=W, param3=T
+ASM = f"""
+.kernel pathfinder
+.regs 20
+.smem {CTA_THREADS * 4}
+.cta {CTA_THREADS}
+entry:
+    S2R   r0, %ctaid_x
+    S2R   r1, %ntid_x
+    S2R   r2, %tid_x
+    IMAD  r3, r0, r1, r2        // column
+    S2R   r4, %param2           // W
+    S2R   r5, %param0
+    SHL   r6, r3, #2
+    IADD  r7, r5, r6            // &wall[0][col]
+    LDG   r8, [r7]
+    SHL   r9, r2, #2            // own smem slot
+    STS   [r9], r8
+    ISUB  r10, r2, #1
+    IMAX  r10, r10, #0
+    SHL   r10, r10, #2          // left neighbour slot (clamped)
+    IADD  r11, r2, #1
+    IMIN  r11, r11, #{CTA_THREADS - 1}
+    SHL   r11, r11, #2          // right neighbour slot (clamped)
+    MOV   r12, #1               // step t
+    SHL   r13, r4, #2           // row stride in bytes
+    IADD  r7, r7, r13           // &wall[1][col]
+    BAR
+steploop:
+    LDS   r14, [r10]
+    LDS   r15, [r9]
+    LDS   r16, [r11]
+    FMIN  r14, r14, r15
+    FMIN  r14, r14, r16
+    BAR
+    LDG   r17, [r7]             // wall[t][col]
+    FADD  r14, r14, r17
+    STS   [r9], r14
+    IADD  r7, r7, r13
+    IADD  r12, r12, #1
+    BAR
+    S2R   r18, %param3
+    SETP.LE r19, r12, r18
+@r19 BRA  steploop
+    S2R   r17, %param1
+    IADD  r17, r17, r6
+    STG   [r17], r14
+    EXIT
+"""
+
+KERNEL = assemble(ASM)
+
+
+def _reference(wall: np.ndarray, steps: int) -> np.ndarray:
+    """Blocked pathfinder: neighbour min clamped at CTA boundaries."""
+    width = wall.shape[1]
+    src = wall[0].copy()
+    for t in range(1, steps + 1):
+        dst = np.empty(width)
+        for block_start in range(0, width, CTA_THREADS):
+            block = src[block_start : block_start + CTA_THREADS]
+            left = np.concatenate(([block[0]], block[:-1]))
+            right = np.concatenate((block[1:], [block[-1]]))
+            best = np.minimum(np.minimum(left, block), right)
+            dst[block_start : block_start + CTA_THREADS] = (
+                best + wall[t, block_start : block_start + CTA_THREADS]
+            )
+        src = dst
+    return src
+
+
+def prepare(scale: float = 1.0) -> Prepared:
+    grid = max(2, int(24 * scale))
+    width = CTA_THREADS * grid
+    wall = random_array((STEPS + 1) * width, seed=101).reshape(STEPS + 1, width)
+    reference = _reference(wall, STEPS)
+
+    gmem = make_gmem()
+    gmem.alloc("wall", (STEPS + 1) * width)
+    gmem.alloc("out", width)
+    gmem.write("wall", wall)
+
+    def check(result):
+        expect_close(result, "out", reference, rtol=1e-9)
+
+    return Prepared(
+        gmem=gmem,
+        grid_dim=(grid, 1, 1),
+        params=(gmem.base("wall"), gmem.base("out"), width, STEPS),
+        check=check,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="pathfinder",
+    suite="Rodinia",
+    description="Blocked DP wavefront, two barriers + one global load per step",
+    category="sync",
+    kernel=KERNEL,
+    prepare=prepare,
+)

@@ -1,0 +1,95 @@
+"""reduction — per-CTA tree sum in shared memory (barrier-heavy).
+
+Models Rodinia-style reductions: shared-memory tree with a barrier per
+level.  Scheduling-limited with small CTAs; barrier convoys plus the final
+store give VT swap opportunities (the ``sync`` class).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.kernels.base import Benchmark, Prepared, expect_close, make_gmem
+from repro.workloads import random_array
+
+CTA_THREADS = 128
+ELEMS_PER_CTA = 2 * CTA_THREADS
+
+# param0 = &in, param1 = &partial
+ASM = f"""
+.kernel reduction
+.regs 16
+.smem {CTA_THREADS * 4}
+.cta {CTA_THREADS}
+entry:
+    S2R   r0, %ctaid_x
+    S2R   r1, %ntid_x
+    S2R   r2, %tid_x
+    IMUL  r3, r0, r1
+    SHL   r3, r3, #1            // cta element base = ctaid * 256
+    IADD  r3, r3, r2
+    SHL   r4, r3, #2
+    S2R   r5, %param0
+    IADD  r5, r5, r4
+    LDG   r6, [r5]              // in[base + tid]
+    LDG   r7, [r5+{CTA_THREADS * 4}]   // in[base + tid + 128]
+    FADD  r6, r6, r7
+    SHL   r8, r2, #2            // smem byte address of this thread
+    STS   [r8], r6
+    BAR
+    MOV   r9, #{CTA_THREADS // 2}      // tree stride s
+loop:
+    SETP.LT r10, r2, r9
+    SHL   r11, r9, #2
+    IADD  r11, r8, r11          // smem address of partner (tid + s)
+@r10 LDS  r12, [r8]
+@r10 LDS  r13, [r11]
+@r10 FADD r12, r12, r13
+@r10 STS  [r8], r12
+    BAR
+    SHR   r9, r9, #1
+    SETP.GE r14, r9, #1
+@r14 BRA  loop
+    SETP.EQ r10, r2, #0
+    MOV   r15, #0
+@r10 LDS  r12, [r15]            // smem[0] = CTA total
+    S2R   r11, %param1
+    SHL   r13, r0, #2
+    IADD  r11, r11, r13
+@r10 STG  [r11], r12            // partial[ctaid]
+    EXIT
+"""
+
+KERNEL = assemble(ASM)
+
+
+def prepare(scale: float = 1.0) -> Prepared:
+    grid = max(2, int(64 * scale))
+    n = ELEMS_PER_CTA * grid
+    data = random_array(n, seed=31)
+    gmem = make_gmem()
+    gmem.alloc("in", n)
+    gmem.alloc("partial", grid)
+    gmem.write("in", data)
+    reference = data.reshape(grid, ELEMS_PER_CTA).sum(axis=1)
+
+    def check(result):
+        expect_close(result, "partial", reference, rtol=1e-9)
+
+    return Prepared(
+        gmem=gmem,
+        grid_dim=(grid, 1, 1),
+        params=(gmem.base("in"), gmem.base("partial")),
+        check=check,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="reduction",
+    suite="Rodinia / CUDA SDK",
+    description="Per-CTA shared-memory tree reduction with per-level barriers",
+    category="sync",
+    kernel=KERNEL,
+    prepare=prepare,
+)

@@ -1,0 +1,110 @@
+"""regheavy — register-hungry FDTD-like update (capacity-limited).
+
+A 256-thread CTA declaring 40 registers/thread: the register file caps
+residency at 3 CTAs, well below the 6 the scheduling structures allow.
+This is the paper's capacity-limited class — VT has no admission headroom
+here and must match baseline, which experiment E5 verifies.
+
+The declared footprint deliberately exceeds the hand-count of live
+registers: real compilers allocate for peak pressure across the whole
+function, and the paper's classification keys off that declared footprint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.kernels.base import Benchmark, Prepared, expect_close, make_gmem
+from repro.workloads import random_array
+
+CTA_THREADS = 256
+
+# param0=&e_field, param1=&h_field, param2=&out
+ASM = f"""
+.kernel regheavy
+.regs 40
+.cta {CTA_THREADS}
+entry:
+    S2R   r0, %ctaid_x
+    S2R   r1, %ntid_x
+    S2R   r2, %tid_x
+    IMAD  r3, r0, r1, r2
+    SHL   r4, r3, #2
+    S2R   r5, %param0
+    IADD  r5, r5, r4
+    LDG   r6, [r5]              // e
+    S2R   r7, %param1
+    IADD  r7, r7, r4
+    LDG   r8, [r7]              // h
+    // FDTD-like update chain (long dependent FMA sequence -> high
+    // register pressure in a real compilation of this kernel body).
+    FMUL  r9, r6, #0.9
+    FFMA  r10, r8, #0.1, r9
+    FMUL  r11, r8, #0.8
+    FFMA  r12, r6, #0.2, r11
+    FMUL  r13, r10, r12
+    FFMA  r14, r9, r11, r13
+    FADD  r15, r10, r12
+    FFMA  r16, r14, #0.5, r15
+    FMUL  r17, r16, r16
+    FFMA  r18, r17, #0.25, r16
+    FADD  r19, r18, r14
+    FFMA  r20, r19, #0.125, r18
+    S2R   r21, %param2
+    IADD  r21, r21, r4
+    STG   [r21], r20
+    EXIT
+"""
+
+KERNEL = assemble(ASM)
+
+
+def _reference(e: np.ndarray, h: np.ndarray) -> np.ndarray:
+    r9 = e * 0.9
+    r10 = h * 0.1 + r9
+    r11 = h * 0.8
+    r12 = e * 0.2 + r11
+    r13 = r10 * r12
+    r14 = r9 * r11 + r13
+    r15 = r10 + r12
+    r16 = r14 * 0.5 + r15
+    r17 = r16 * r16
+    r18 = r17 * 0.25 + r16
+    r19 = r18 + r14
+    return r19 * 0.125 + r18
+
+
+def prepare(scale: float = 1.0) -> Prepared:
+    grid = max(2, int(16 * scale))
+    n = CTA_THREADS * grid
+    e = random_array(n, seed=161)
+    h = random_array(n, seed=162)
+    reference = _reference(e, h)
+
+    gmem = make_gmem()
+    gmem.alloc("e", n)
+    gmem.alloc("h", n)
+    gmem.alloc("out", n)
+    gmem.write("e", e)
+    gmem.write("h", h)
+
+    def check(result):
+        expect_close(result, "out", reference, rtol=1e-9)
+
+    return Prepared(
+        gmem=gmem,
+        grid_dim=(grid, 1, 1),
+        params=(gmem.base("e"), gmem.base("h"), gmem.base("out")),
+        check=check,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="regheavy",
+    suite="FDTD-class (synthetic)",
+    description="Register-capacity-limited FMA chain update",
+    category="compute",
+    kernel=KERNEL,
+    prepare=prepare,
+)

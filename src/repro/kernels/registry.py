@@ -1,0 +1,68 @@
+"""Benchmark registry: the reproduction's analogue of the paper's suite."""
+
+from __future__ import annotations
+
+from repro.kernels import (
+    backprop,
+    bfs,
+    btree,
+    histogram,
+    hotspot,
+    kmeans,
+    mm_tiled,
+    mriq,
+    nn,
+    nw,
+    pathfinder,
+    reduction,
+    regheavy,
+    saxpy,
+    scan,
+    spmv,
+    srad,
+    streamcluster,
+    stride,
+    transpose,
+    vecadd,
+)
+from repro.kernels.base import Benchmark
+
+_MODULES = (
+    bfs,
+    btree,
+    stride,
+    hotspot,
+    kmeans,
+    spmv,
+    srad,
+    streamcluster,
+    pathfinder,
+    scan,
+    reduction,
+    backprop,
+    histogram,
+    saxpy,
+    vecadd,
+    nn,
+    transpose,
+    mm_tiled,
+    mriq,
+    nw,
+    regheavy,
+)
+
+
+def all_benchmarks() -> list[Benchmark]:
+    """Every benchmark, in the order the experiment tables report them."""
+    return [m.BENCHMARK for m in _MODULES]
+
+
+def get(name: str) -> Benchmark:
+    for bench in all_benchmarks():
+        if bench.name == name:
+            return bench
+    raise KeyError(f"unknown benchmark {name!r}; known: {[b.name for b in all_benchmarks()]}")
+
+
+def by_category(category: str) -> list[Benchmark]:
+    return [b for b in all_benchmarks() if b.category == category]

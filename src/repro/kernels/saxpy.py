@@ -1,0 +1,82 @@
+"""saxpy — y = alpha*x + y with a grid-stride loop (streaming class)."""
+
+from __future__ import annotations
+
+from repro.isa.assembler import assemble
+from repro.kernels.base import Benchmark, Prepared, expect_close, make_gmem
+from repro.workloads import random_array
+
+CTA_THREADS = 128
+ELEMS_PER_THREAD = 4
+ALPHA = 2.5
+
+# param0 = &x, param1 = &y, param2 = &out, param3 = total stride in bytes
+ASM = f"""
+.kernel saxpy
+.regs 16
+.cta {CTA_THREADS}
+entry:
+    S2R   r0, %ctaid_x
+    S2R   r1, %ntid_x
+    S2R   r2, %tid_x
+    IMAD  r3, r0, r1, r2        // global thread id
+    SHL   r4, r3, #2            // byte offset of first element
+    S2R   r5, %param0
+    IADD  r5, r5, r4            // &x[i]
+    S2R   r6, %param1
+    IADD  r6, r6, r4            // &y[i]
+    S2R   r7, %param2
+    IADD  r7, r7, r4            // &out[i]
+    S2R   r8, %param3           // grid stride in bytes
+    MOV   r9, #0                // iteration counter
+loop:
+    LDG   r10, [r5]
+    LDG   r11, [r6]
+    FMUL  r10, r10, #{ALPHA}
+    FADD  r10, r10, r11
+    STG   [r7], r10
+    IADD  r5, r5, r8
+    IADD  r6, r6, r8
+    IADD  r7, r7, r8
+    IADD  r9, r9, #1
+    SETP.LT r12, r9, #{ELEMS_PER_THREAD}
+@r12 BRA  loop
+    EXIT
+"""
+
+KERNEL = assemble(ASM)
+
+
+def prepare(scale: float = 1.0) -> Prepared:
+    grid = max(2, int(24 * scale))
+    n = CTA_THREADS * grid * ELEMS_PER_THREAD
+    stride_bytes = CTA_THREADS * grid * 4
+    x = random_array(n, seed=21)
+    y = random_array(n, seed=22)
+    gmem = make_gmem()
+    gmem.alloc("x", n)
+    gmem.alloc("y", n)
+    gmem.alloc("out", n)
+    gmem.write("x", x)
+    gmem.write("y", y)
+    reference = ALPHA * x + y
+
+    def check(result):
+        expect_close(result, "out", reference)
+
+    return Prepared(
+        gmem=gmem,
+        grid_dim=(grid, 1, 1),
+        params=(gmem.base("x"), gmem.base("y"), gmem.base("out"), stride_bytes),
+        check=check,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="saxpy",
+    suite="CUDA SDK / cuBLAS",
+    description="Grid-stride saxpy, coalesced streaming with a short loop",
+    category="streaming",
+    kernel=KERNEL,
+    prepare=prepare,
+)

@@ -1,0 +1,98 @@
+"""scan — per-CTA inclusive prefix sum (Hillis-Steele, double-buffered).
+
+Models the CUDA SDK scan: log2(CTA) shared-memory passes with a barrier
+after every pass, ping-ponging between two buffers so reads never race
+writes.  Dense barriers + shared traffic make it the purest 'sync'-class
+kernel in the suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.kernels.base import Benchmark, Prepared, expect_close, make_gmem
+from repro.workloads import random_array
+
+CTA_THREADS = 128
+BUF_BYTES = CTA_THREADS * 4
+
+# param0=&in, param1=&out
+ASM = f"""
+.kernel scan
+.regs 20
+.smem {2 * BUF_BYTES}
+.cta {CTA_THREADS}
+entry:
+    S2R   r0, %ctaid_x
+    S2R   r1, %ntid_x
+    S2R   r2, %tid_x
+    IMAD  r3, r0, r1, r2        // gtid
+    SHL   r4, r3, #2
+    S2R   r5, %param0
+    IADD  r5, r5, r4
+    LDG   r6, [r5]              // in[gtid]
+    SHL   r7, r2, #2            // tid word offset
+    STS   [r7], r6              // buffer A
+    BAR
+    MOV   r8, #1                // stride d
+    MOV   r9, #0                // source buffer flag
+sloop:
+    IMUL  r10, r9, #{BUF_BYTES}   // src base
+    MOV   r12, #{BUF_BYTES}
+    ISUB  r11, r12, r10           // dst base (the other buffer)
+    IADD  r13, r10, r7
+    LDS   r14, [r13]              // own value from src
+    SETP.GE r15, r2, r8
+    SHL   r16, r8, #2
+    ISUB  r16, r13, r16           // src[tid - d]
+@r15 LDS  r17, [r16]
+@r15 FADD r14, r14, r17
+    IADD  r18, r11, r7
+    STS   [r18], r14              // dst[tid]
+    BAR
+    XOR   r9, r9, #1
+    SHL   r8, r8, #1
+    SETP.LT r15, r8, #{CTA_THREADS}
+@r15 BRA  sloop
+    S2R   r10, %param1
+    IADD  r10, r10, r4
+    STG   [r10], r14              // r14 holds the final inclusive sum
+    EXIT
+"""
+
+KERNEL = assemble(ASM)
+
+
+def prepare(scale: float = 1.0) -> Prepared:
+    grid = max(2, int(24 * scale))
+    n = CTA_THREADS * grid
+    data = random_array(n, seed=201)
+    reference = np.concatenate(
+        [np.cumsum(block) for block in data.reshape(grid, CTA_THREADS)]
+    )
+
+    gmem = make_gmem()
+    gmem.alloc("in", n)
+    gmem.alloc("out", n)
+    gmem.write("in", data)
+
+    def check(result):
+        expect_close(result, "out", reference, rtol=1e-9)
+
+    return Prepared(
+        gmem=gmem,
+        grid_dim=(grid, 1, 1),
+        params=(gmem.base("in"), gmem.base("out")),
+        check=check,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="scan",
+    suite="CUDA SDK",
+    description="Per-CTA Hillis-Steele prefix sum, barrier per pass",
+    category="sync",
+    kernel=KERNEL,
+    prepare=prepare,
+)

@@ -1,0 +1,104 @@
+"""spmv — CSR sparse matrix-vector product, one thread per row.
+
+Models Parboil's spmv: irregular per-row trip counts (warp divergence on
+the nonzero loop) and gather loads of ``x[col[j]]`` that rarely coalesce —
+scheduling-limited, latency/irregularity-bound.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import assemble
+from repro.kernels.base import Benchmark, Prepared, expect_close, make_gmem
+from repro.workloads import random_array
+from repro.workloads.matrices import csr_matvec, random_csr_matrix
+
+CTA_THREADS = 64
+
+# param0=&rowptr, param1=&col, param2=&val, param3=&x, param4=&y
+ASM = f"""
+.kernel spmv
+.regs 18
+.cta {CTA_THREADS}
+entry:
+    S2R   r0, %ctaid_x
+    S2R   r1, %ntid_x
+    S2R   r2, %tid_x
+    IMAD  r3, r0, r1, r2        // row
+    SHL   r4, r3, #2
+    S2R   r5, %param0
+    IADD  r5, r5, r4
+    LDG   r6, [r5]              // j = rowptr[row]
+    LDG   r7, [r5+4]            // end = rowptr[row+1]
+    MOV   r8, #0.0              // acc
+    S2R   r9, %param1
+    S2R   r10, %param2
+    S2R   r11, %param3
+    SETP.GE r12, r6, r7
+@r12 BRA  store
+rowloop:
+    SHL   r13, r6, #2
+    IADD  r14, r13, r9
+    LDG   r15, [r14]            // col[j]
+    IADD  r14, r13, r10
+    LDG   r16, [r14]            // val[j]
+    SHL   r15, r15, #2
+    IADD  r15, r15, r11
+    LDG   r17, [r15]            // x[col[j]]  (gather)
+    FFMA  r8, r16, r17, r8
+    IADD  r6, r6, #1
+    SETP.LT r12, r6, r7
+@r12 BRA  rowloop
+store:
+    S2R   r13, %param4
+    IADD  r13, r13, r4
+    STG   [r13], r8
+    EXIT
+"""
+
+KERNEL = assemble(ASM)
+
+
+def prepare(scale: float = 1.0) -> Prepared:
+    grid = max(2, int(24 * scale))
+    rows = CTA_THREADS * grid
+    cols = rows
+    row_ptr, col_idx, values = random_csr_matrix(rows, cols, avg_nnz_per_row=8, seed=91)
+    x = random_array(cols, seed=92)
+    reference = csr_matvec(row_ptr, col_idx, values, x)
+
+    gmem = make_gmem()
+    gmem.alloc("rowptr", rows + 1)
+    gmem.alloc("col", max(1, len(col_idx)))
+    gmem.alloc("val", max(1, len(values)))
+    gmem.alloc("x", cols)
+    gmem.alloc("y", rows)
+    gmem.write("rowptr", row_ptr)
+    gmem.write("col", col_idx)
+    gmem.write("val", values)
+    gmem.write("x", x)
+
+    def check(result):
+        expect_close(result, "y", reference, rtol=1e-9)
+
+    return Prepared(
+        gmem=gmem,
+        grid_dim=(grid, 1, 1),
+        params=(
+            gmem.base("rowptr"),
+            gmem.base("col"),
+            gmem.base("val"),
+            gmem.base("x"),
+            gmem.base("y"),
+        ),
+        check=check,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="spmv",
+    suite="Parboil",
+    description="CSR SpMV, thread-per-row, divergent nonzero loops + gathers",
+    category="irregular",
+    kernel=KERNEL,
+    prepare=prepare,
+)

@@ -1,0 +1,132 @@
+"""srad — diffusion stencil with SFU-heavy coefficient math.
+
+Models Rodinia's srad: a 5-point stencil whose update coefficient needs a
+divide and a square root per element, mixing memory latency with SFU
+throughput pressure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.kernels.base import Benchmark, Prepared, expect_close, make_gmem
+from repro.workloads.grids import random_grid
+
+CTA_X, CTA_Y = 32, 2
+WIDTH = 128
+LAMBDA = 0.25
+
+# param0=&in, param1=&out, param2=W, param3=H
+ASM = f"""
+.kernel srad
+.regs 22
+.cta {CTA_X} {CTA_Y}
+entry:
+    S2R   r0, %tid_x
+    S2R   r1, %tid_y
+    S2R   r2, %ctaid_x
+    S2R   r3, %ctaid_y
+    S2R   r4, %param2           // W
+    S2R   r5, %param3           // H
+    SHL   r6, r2, #5
+    IADD  r6, r6, r0            // x
+    SHL   r7, r3, #1
+    IADD  r7, r7, r1            // y
+    S2R   r8, %param0
+    IMAD  r9, r7, r4, r6
+    SHL   r9, r9, #2
+    IADD  r9, r9, r8
+    LDG   r10, [r9]             // center c
+    ISUB  r11, r6, #1
+    IMAX  r11, r11, #0
+    IMAD  r12, r7, r4, r11
+    SHL   r12, r12, #2
+    IADD  r12, r12, r8
+    LDG   r13, [r12]            // west
+    IADD  r11, r6, #1
+    ISUB  r12, r4, #1
+    IMIN  r11, r11, r12
+    IMAD  r12, r7, r4, r11
+    SHL   r12, r12, #2
+    IADD  r12, r12, r8
+    LDG   r14, [r12]            // east
+    ISUB  r11, r7, #1
+    IMAX  r11, r11, #0
+    IMAD  r12, r11, r4, r6
+    SHL   r12, r12, #2
+    IADD  r12, r12, r8
+    LDG   r15, [r12]            // north
+    IADD  r11, r7, #1
+    ISUB  r12, r5, #1
+    IMIN  r11, r11, r12
+    IMAD  r12, r11, r4, r6
+    SHL   r12, r12, #2
+    IADD  r12, r12, r8
+    LDG   r16, [r12]            // south
+    FADD  r17, r13, r14
+    FADD  r17, r17, r15
+    FADD  r17, r17, r16
+    FMUL  r18, r10, #4.0
+    FSUB  r17, r17, r18         // laplacian d
+    FADD  r18, r10, #1.0
+    FDIV  r19, r17, r18         // q = d / (c + 1)
+    FABS  r20, r19
+    FADD  r20, r20, #1.0
+    FSQRT r20, r20              // g = sqrt(|q| + 1)
+    FDIV  r19, r17, r20         // d / g
+    FMUL  r19, r19, #{LAMBDA}
+    FADD  r10, r10, r19         // c + lambda * d / g
+    S2R   r21, %param1
+    IMAD  r9, r7, r4, r6
+    SHL   r9, r9, #2
+    IADD  r9, r9, r21
+    STG   [r9], r10
+    EXIT
+"""
+
+KERNEL = assemble(ASM)
+
+
+def _reference(field: np.ndarray) -> np.ndarray:
+    padded = np.pad(field, 1, mode="edge")
+    north = padded[:-2, 1:-1]
+    south = padded[2:, 1:-1]
+    west = padded[1:-1, :-2]
+    east = padded[1:-1, 2:]
+    lap = north + south + east + west - 4.0 * field
+    q = lap / (field + 1.0)
+    g = np.sqrt(np.abs(q) + 1.0)
+    return field + LAMBDA * lap / g
+
+
+def prepare(scale: float = 1.0) -> Prepared:
+    rows_of_ctas = max(2, int(12 * scale))
+    height = CTA_Y * rows_of_ctas
+    field = random_grid(height, WIDTH, seed=131, low=0.1, high=1.0)
+    reference = _reference(field).ravel()
+
+    gmem = make_gmem()
+    gmem.alloc("in", height * WIDTH)
+    gmem.alloc("out", height * WIDTH)
+    gmem.write("in", field)
+
+    def check(result):
+        expect_close(result, "out", reference, rtol=1e-9)
+
+    return Prepared(
+        gmem=gmem,
+        grid_dim=(WIDTH // CTA_X, rows_of_ctas, 1),
+        params=(gmem.base("in"), gmem.base("out"), WIDTH, height),
+        check=check,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="srad",
+    suite="Rodinia",
+    description="Diffusion stencil with SFU divide/sqrt per element",
+    category="latency",
+    kernel=KERNEL,
+    prepare=prepare,
+)

@@ -1,0 +1,117 @@
+"""streamcluster — conditional reassignment against a candidate center.
+
+Models Rodinia's streamcluster pgain inner kernel: per-point distance to a
+candidate center (SFU square root), compared against the current
+assignment cost, with predicated stores on improvement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.kernels.base import Benchmark, Prepared, expect_close, make_gmem
+from repro.workloads import random_array
+
+CTA_THREADS = 64
+NUM_FEATURES = 4
+CENTER_ID = 7
+
+# param0=&feat (D×N feature-major), param1=&center (D), param2=&cost,
+# param3=&assign, param4=N, param5=D, param6=center id
+ASM = f"""
+.kernel streamcluster
+.regs 20
+.cta {CTA_THREADS}
+entry:
+    S2R   r0, %ctaid_x
+    S2R   r1, %ntid_x
+    S2R   r2, %tid_x
+    IMAD  r3, r0, r1, r2        // point i
+    S2R   r4, %param4           // N
+    S2R   r5, %param0
+    S2R   r6, %param1
+    MOV   r7, #0.0              // squared distance
+    MOV   r8, #0                // d
+dloop:
+    IMAD  r9, r8, r4, r3
+    SHL   r9, r9, #2
+    IADD  r9, r9, r5
+    LDG   r10, [r9]             // feat[d][i]
+    SHL   r11, r8, #2
+    IADD  r11, r11, r6
+    LDG   r12, [r11]            // center[d]
+    FSUB  r10, r10, r12
+    FFMA  r7, r10, r10, r7
+    IADD  r8, r8, #1
+    S2R   r13, %param5
+    SETP.LT r14, r8, r13
+@r14 BRA  dloop
+    FSQRT r7, r7                // Euclidean distance (SFU)
+    S2R   r13, %param2
+    SHL   r15, r3, #2
+    IADD  r16, r13, r15
+    LDG   r17, [r16]            // current cost[i]
+    SETP.LT r14, r7, r17
+@r14 STG  [r16], r7             // improve: new cost
+    S2R   r18, %param3
+    IADD  r18, r18, r15
+    S2R   r19, %param6
+@r14 STG  [r18], r19            // improve: reassign to candidate
+    EXIT
+"""
+
+KERNEL = assemble(ASM)
+
+
+def prepare(scale: float = 1.0) -> Prepared:
+    grid = max(2, int(24 * scale))
+    n = CTA_THREADS * grid
+    features = random_array(NUM_FEATURES * n, seed=111).reshape(NUM_FEATURES, n)
+    center = random_array(NUM_FEATURES, seed=112)
+    cost = random_array(n, seed=113, low=0.3, high=1.2)
+    assign = np.zeros(n)
+
+    dist = np.sqrt(((features - center[:, None]) ** 2).sum(axis=0))
+    improved = dist < cost
+    ref_cost = np.where(improved, dist, cost)
+    ref_assign = np.where(improved, float(CENTER_ID), assign)
+
+    gmem = make_gmem()
+    gmem.alloc("feat", NUM_FEATURES * n)
+    gmem.alloc("center", NUM_FEATURES)
+    gmem.alloc("cost", n)
+    gmem.alloc("assign", n)
+    gmem.write("feat", features)
+    gmem.write("center", center)
+    gmem.write("cost", cost)
+    gmem.write("assign", assign)
+
+    def check(result):
+        expect_close(result, "cost", ref_cost, rtol=1e-9)
+        expect_close(result, "assign", ref_assign)
+
+    return Prepared(
+        gmem=gmem,
+        grid_dim=(grid, 1, 1),
+        params=(
+            gmem.base("feat"),
+            gmem.base("center"),
+            gmem.base("cost"),
+            gmem.base("assign"),
+            n,
+            NUM_FEATURES,
+            CENTER_ID,
+        ),
+        check=check,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="streamcluster",
+    suite="Rodinia",
+    description="Per-point candidate-center reassignment with SFU distance",
+    category="latency",
+    kernel=KERNEL,
+    prepare=prepare,
+)

@@ -1,0 +1,84 @@
+"""stride — strided-load latency microbenchmark (GUPS-like).
+
+Each thread walks a large-stride address sequence: every load opens a new
+cache line and mostly misses L1, exposing raw memory latency without
+saturating DRAM bandwidth.  This is the cleanest VT demonstrator: the
+baseline's 16 warps cannot cover the round-trip, while VT's virtual CTAs
+can.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.kernels.base import Benchmark, Prepared, expect_close, make_gmem
+from repro.workloads import random_array
+
+CTA_THREADS = 64
+ITERS = 16
+STRIDE_WORDS = 8192  # 32 KiB jumps: new line, defeats both L1 and reuse
+
+# param0=&x, param1=&out
+ASM = f"""
+.kernel stride
+.regs 14
+.cta {CTA_THREADS}
+entry:
+    S2R   r0, %ctaid_x
+    S2R   r1, %ntid_x
+    S2R   r2, %tid_x
+    IMAD  r3, r0, r1, r2
+    SHL   r4, r3, #2
+    S2R   r5, %param0
+    IADD  r6, r5, r4            // &x[i]
+    MOV   r7, #0.0              // acc
+    MOV   r8, #0                // iter
+loop:
+    LDG   r9, [r6]
+    FADD  r7, r7, r9
+    IADD  r6, r6, #{STRIDE_WORDS * 4}
+    IADD  r8, r8, #1
+    SETP.LT r10, r8, #{ITERS}
+@r10 BRA  loop
+    S2R   r11, %param1
+    IADD  r12, r11, r4
+    STG   [r12], r7
+    EXIT
+"""
+
+KERNEL = assemble(ASM)
+
+
+def prepare(scale: float = 1.0) -> Prepared:
+    grid = max(2, int(32 * scale))
+    n = CTA_THREADS * grid
+    words = STRIDE_WORDS * ITERS + n
+    x = random_array(words, seed=171)
+    idx = np.arange(n)
+    reference = sum(x[idx + it * STRIDE_WORDS] for it in range(ITERS))
+
+    gmem = make_gmem(size_bytes=1 << 24)
+    gmem.alloc("x", words)
+    gmem.alloc("out", n)
+    gmem.write("x", x)
+
+    def check(result):
+        expect_close(result, "out", reference, rtol=1e-9)
+
+    return Prepared(
+        gmem=gmem,
+        grid_dim=(grid, 1, 1),
+        params=(gmem.base("x"), gmem.base("out")),
+        check=check,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="stride",
+    suite="GUPS-class (synthetic)",
+    description="Large-stride load chain exposing raw memory latency",
+    category="latency",
+    kernel=KERNEL,
+    prepare=prepare,
+)

@@ -1,0 +1,107 @@
+"""transpose — shared-memory tiled matrix transpose.
+
+The classic coalesced transpose: a 32×32 tile staged through padded
+shared memory (stride 33 words avoids bank conflicts), with a 32×8 thread
+block looping over four tile rows.  Exercises shared-memory timing and
+barrier behaviour with a large (8-warp) CTA.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.kernels.base import Benchmark, Prepared, expect_close, make_gmem
+from repro.workloads import random_array
+
+CTA_X, CTA_Y = 32, 8
+TILE = 32
+PAD_STRIDE = 33  # words per padded shared-memory row
+
+# param0=&in, param1=&out, param2=S (square matrix side)
+ASM = f"""
+.kernel transpose
+.regs 16
+.smem {TILE * PAD_STRIDE * 4}
+.cta {CTA_X} {CTA_Y}
+entry:
+    S2R   r0, %tid_x
+    S2R   r1, %tid_y
+    S2R   r2, %ctaid_x
+    S2R   r3, %ctaid_y
+    S2R   r4, %param2           // S
+    SHL   r5, r2, #5            // bx*32
+    SHL   r6, r3, #5            // by*32
+    MOV   r7, #0                // row-chunk yy
+rdloop:
+    SHL   r8, r7, #3
+    IADD  r8, r8, r1            // tile row = ty + yy*8
+    IADD  r9, r6, r8            // global row
+    IADD  r10, r5, r0           // global col
+    IMAD  r11, r9, r4, r10
+    SHL   r11, r11, #2
+    S2R   r12, %param0
+    IADD  r11, r11, r12
+    LDG   r13, [r11]
+    IMUL  r14, r8, #{PAD_STRIDE}
+    IADD  r14, r14, r0
+    SHL   r14, r14, #2
+    STS   [r14], r13            // smem[row][col], padded
+    IADD  r7, r7, #1
+    SETP.LT r15, r7, #4
+@r15 BRA  rdloop
+    BAR
+    MOV   r7, #0
+wrloop:
+    SHL   r8, r7, #3
+    IADD  r8, r8, r1            // transposed tile row
+    IADD  r9, r5, r8            // global out row = bx*32 + r
+    IADD  r10, r6, r0           // global out col = by*32 + tx
+    IMAD  r11, r9, r4, r10
+    SHL   r11, r11, #2
+    S2R   r12, %param1
+    IADD  r11, r11, r12
+    IMUL  r14, r0, #{PAD_STRIDE}  // smem[tx][r]
+    IADD  r14, r14, r8
+    SHL   r14, r14, #2
+    LDS   r13, [r14]
+    STG   [r11], r13
+    IADD  r7, r7, #1
+    SETP.LT r15, r7, #4
+@r15 BRA  wrloop
+    EXIT
+"""
+
+KERNEL = assemble(ASM)
+
+
+def prepare(scale: float = 1.0) -> Prepared:
+    tiles = max(2, int(3 * scale))
+    side = TILE * tiles
+    matrix = random_array(side * side, seed=151).reshape(side, side)
+    reference = matrix.T.ravel()
+
+    gmem = make_gmem()
+    gmem.alloc("in", side * side)
+    gmem.alloc("out", side * side)
+    gmem.write("in", matrix)
+
+    def check(result):
+        expect_close(result, "out", reference)
+
+    return Prepared(
+        gmem=gmem,
+        grid_dim=(tiles, tiles, 1),
+        params=(gmem.base("in"), gmem.base("out"), side),
+        check=check,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="transpose",
+    suite="CUDA SDK",
+    description="32x32 tiled transpose through padded shared memory",
+    category="streaming",
+    kernel=KERNEL,
+    prepare=prepare,
+)

@@ -1,0 +1,75 @@
+"""vecadd — elementwise c = a + b (STREAM-like, fully coalesced).
+
+Models the paper's streaming class: scheduling-limited by occupancy
+arithmetic, but DRAM-bandwidth-bound, so extra TLP from VT buys little —
+the paper reports near-zero gains for this class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.kernels.base import Benchmark, Prepared, expect_close, make_gmem
+from repro.workloads import random_array
+
+CTA_THREADS = 128
+
+ASM = f"""
+.kernel vecadd
+.regs 13
+.cta {CTA_THREADS}
+entry:
+    S2R   r0, %ctaid_x
+    S2R   r1, %ntid_x
+    S2R   r2, %tid_x
+    IMAD  r3, r0, r1, r2        // global thread id
+    SHL   r4, r3, #2            // byte offset
+    S2R   r5, %param0
+    IADD  r6, r5, r4
+    LDG   r7, [r6]              // a[i]
+    S2R   r8, %param1
+    IADD  r9, r8, r4
+    LDG   r10, [r9]             // b[i]
+    FADD  r7, r7, r10
+    S2R   r11, %param2
+    IADD  r12, r11, r4
+    STG   [r12], r7             // c[i]
+    EXIT
+"""
+
+KERNEL = assemble(ASM)
+
+
+def prepare(scale: float = 1.0) -> Prepared:
+    grid = max(2, int(48 * scale))
+    n = CTA_THREADS * grid
+    a = random_array(n, seed=11)
+    b = random_array(n, seed=12)
+    gmem = make_gmem()
+    gmem.alloc("a", n)
+    gmem.alloc("b", n)
+    gmem.alloc("c", n)
+    gmem.write("a", a)
+    gmem.write("b", b)
+    reference = a + b
+
+    def check(result):
+        expect_close(result, "c", reference)
+
+    return Prepared(
+        gmem=gmem,
+        grid_dim=(grid, 1, 1),
+        params=(gmem.base("a"), gmem.base("b"), gmem.base("c")),
+        check=check,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="vecadd",
+    suite="CUDA SDK / STREAM",
+    description="Elementwise vector add, fully coalesced streaming",
+    category="streaming",
+    kernel=KERNEL,
+    prepare=prepare,
+)

@@ -1,0 +1,20 @@
+"""Cycle-level SIMT GPU timing model.
+
+The simulator is execution-driven: kernels compute real values through the
+functional executor while the timing model tracks cycles, so every timing
+run doubles as a correctness check.  The model follows the structure the
+Virtual Thread paper assumes (a GPGPU-Sim-like Fermi-class SM):
+
+* per-SM warp slots with SIMT reconvergence stacks and scoreboards,
+* multiple warp schedulers (LRR / GTO / two-level),
+* a coalescing LD/ST unit in front of a per-SM L1, a shared L2 and a
+  banked, bandwidth-limited DRAM model,
+* a CTA dispatcher that enforces the scheduling and capacity limits.
+"""
+
+from repro.sim.config import GPUConfig
+from repro.sim.gpu import GPU, LaunchResult
+from repro.sim.memory import GlobalMemory
+from repro.sim.stats import SimStats
+
+__all__ = ["GPUConfig", "GPU", "LaunchResult", "GlobalMemory", "SimStats"]

@@ -1,0 +1,130 @@
+"""CTA residency managers: baseline and ideal-scheduling architectures.
+
+A manager decides (a) whether the SM can accept one more CTA of a kernel,
+and (b) which resident CTAs are allowed to use the warp schedulers.  The
+baseline enforces both the scheduling limit and the capacity limit; the
+*ideal-sched* variant models scheduling structures enlarged to the
+capacity limit at zero cost (the paper's upper bound).  The Virtual Thread
+manager lives with the paper's contribution in :mod:`repro.core.vt`.
+"""
+
+from __future__ import annotations
+
+from repro.sim.cta import CTA, CTAState
+
+
+class ResourceAccounting:
+    """Per-SM register/shared-memory/warp-slot bookkeeping."""
+
+    def __init__(self, cfg):
+        self.cfg = cfg
+        self.regs_used = 0
+        self.smem_used = 0
+        self.warps_used = 0
+        self.threads_used = 0
+
+    def charge(self, kernel) -> None:
+        self.regs_used += kernel.regs_per_thread * kernel.threads_per_cta
+        self.smem_used += kernel.smem_bytes
+        self.warps_used += kernel.warps_per_cta(self.cfg.warp_size)
+        self.threads_used += kernel.threads_per_cta
+
+    def release(self, cta: CTA) -> None:
+        kernel = cta.kernel
+        self.regs_used -= kernel.regs_per_thread * kernel.threads_per_cta
+        self.smem_used -= kernel.smem_bytes
+        self.warps_used -= kernel.warps_per_cta(self.cfg.warp_size)
+        self.threads_used -= kernel.threads_per_cta
+
+    def capacity_fits(self, kernel) -> bool:
+        """The paper's *capacity limit*: register file + shared memory."""
+        cfg = self.cfg
+        return (
+            self.regs_used + kernel.regs_per_thread * kernel.threads_per_cta <= cfg.registers_per_sm
+            and self.smem_used + kernel.smem_bytes <= cfg.smem_per_sm
+        )
+
+    def sched_fits(self, kernel, resident_ctas: int) -> bool:
+        """The paper's *scheduling limit*: CTA slots, warp slots, threads."""
+        cfg = self.cfg
+        return (
+            resident_ctas < cfg.max_ctas_per_sm
+            and self.warps_used + kernel.warps_per_cta(cfg.warp_size) <= cfg.max_warps_per_sm
+            and self.threads_used + kernel.threads_per_cta <= cfg.max_threads_per_sm
+        )
+
+
+class CTAManagerBase:
+    """Interface shared by baseline, ideal-sched and VT managers."""
+
+    def __init__(self, cfg, stats):
+        self.cfg = cfg
+        self.stats = stats
+        self.resources = ResourceAccounting(cfg)
+        self.resident: list[CTA] = []
+
+    # -- admission ---------------------------------------------------------------
+
+    def can_accept(self, kernel) -> bool:
+        raise NotImplementedError
+
+    def on_assign(self, cta: CTA, now: int) -> None:
+        self.resources.charge(cta.kernel)
+        self.resident.append(cta)
+
+    def on_cta_finish(self, cta: CTA, now: int) -> None:
+        cta.state = CTAState.FINISHED
+        self.resources.release(cta)
+        self.resident.remove(cta)
+        self.stats.ctas_completed += 1
+
+    # -- per-cycle hooks -----------------------------------------------------------
+
+    def update(self, now: int, warp_status) -> None:
+        """Called once per cycle before issue; ``warp_status(warp)`` returns
+        the cached status code (see :mod:`repro.sim.smcore`)."""
+
+    def is_schedulable(self, cta: CTA, now: int) -> bool:
+        return cta.schedulable_now(now)
+
+    # -- occupancy reporting ---------------------------------------------------
+
+    @property
+    def active_cta_count(self) -> int:
+        return sum(1 for c in self.resident if c.state is CTAState.ACTIVE)
+
+    def schedulable_warp_count(self, now: int) -> int:
+        return sum(
+            1
+            for cta in self.resident
+            if self.is_schedulable(cta, now)
+            for w in cta.warps
+            if not w.finished
+        )
+
+    def resident_warp_count(self) -> int:
+        return sum(1 for cta in self.resident for w in cta.warps if not w.finished)
+
+
+class BaselineManager(CTAManagerBase):
+    """Stock GPU: both scheduling and capacity limits enforced; every
+    resident CTA is active."""
+
+    def can_accept(self, kernel) -> bool:
+        return self.resources.capacity_fits(kernel) and self.resources.sched_fits(
+            kernel, len(self.resident)
+        )
+
+
+class IdealSchedManager(CTAManagerBase):
+    """Upper bound: scheduling structures magically enlarged to the capacity
+    limit — CTAs are admitted while registers and shared memory fit, and all
+    of them are active with no swap cost.
+
+    The thread/warp-slot limits are lifted entirely; only the max-CTA count
+    is bounded by a generous multiple to keep the model finite.
+    """
+
+    def can_accept(self, kernel) -> bool:
+        hard_cap = self.cfg.max_ctas_per_sm * 16
+        return self.resources.capacity_fits(kernel) and len(self.resident) < hard_cap

@@ -1,0 +1,37 @@
+"""DRAM timing: per-channel bandwidth with fixed access latency.
+
+Each channel is a server with deterministic service time
+(``dram_service_cycles`` per line transfer).  A request arriving at a busy
+channel queues behind earlier arrivals — ``next_free`` bookkeeping yields
+exactly FCFS queueing delay without simulating the queue cycle-by-cycle.
+Channels are line-interleaved by address, the common GPU mapping.
+"""
+
+from __future__ import annotations
+
+
+class DramModel:
+    """Banked, bandwidth-limited DRAM with a flat access latency."""
+
+    def __init__(self, cfg):
+        self.cfg = cfg
+        self.channel_next_free = [0] * cfg.dram_channels
+        self.requests = 0
+        self.busy_cycles = 0
+
+    def channel_of(self, line_addr: int) -> int:
+        return (line_addr // self.cfg.line_bytes) % self.cfg.dram_channels
+
+    def access(self, line_addr: int, earliest: int) -> int:
+        """Service a line request arriving at ``earliest``; returns the
+        cycle at which data leaves the DRAM."""
+        channel = self.channel_of(line_addr)
+        start = max(earliest, self.channel_next_free[channel])
+        self.channel_next_free[channel] = start + self.cfg.dram_service_cycles
+        self.requests += 1
+        self.busy_cycles += self.cfg.dram_service_cycles
+        return start + self.cfg.dram_latency
+
+    def utilization(self, total_cycles: int) -> float:
+        capacity = total_cycles * self.cfg.dram_channels
+        return self.busy_cycles / capacity if capacity else 0.0

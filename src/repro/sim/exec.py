@@ -1,0 +1,267 @@
+"""Functional execution of one instruction for one warp.
+
+Execution happens at *issue* time: the timing model decides when an
+instruction may issue, then calls :func:`functional_step`, which updates
+registers/memory/PC immediately while the scoreboard models when the
+results become architecturally visible.  This split is safe because the
+workloads are data-race-free (inter-warp communication goes through
+barriers or atomics, and atomics are performed read-modify-write in issue
+order).
+
+The returned :class:`ExecResult` carries everything the timing model needs
+(memory space, per-lane byte addresses, lane count) without re-decoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.instruction import Imm, MemRef, Reg, SReg
+from repro.isa.opcodes import CmpOp, Op
+from repro.sim.warp import Warp, mask_to_array, array_to_mask
+
+
+class ExecutionError(RuntimeError):
+    """A dynamic semantic error in the simulated program."""
+
+
+@dataclass
+class ExecResult:
+    """Side-band information about one executed instruction."""
+
+    exec_mask: int  # lanes that executed (post-predication)
+    mem_space: str | None = None  # "global" | "shared" | None
+    addresses: np.ndarray | None = None  # byte addrs of executed lanes
+    is_store: bool = False
+    is_atomic: bool = False
+    did_barrier: bool = False
+    did_exit: bool = False
+
+    @property
+    def lanes(self) -> int:
+        return self.exec_mask.bit_count()
+
+
+_INT_BIN = {
+    Op.IADD: lambda a, b: a + b,
+    Op.ISUB: lambda a, b: a - b,
+    Op.IMUL: lambda a, b: a * b,
+    Op.IMIN: lambda a, b: np.minimum(a, b),
+    Op.IMAX: lambda a, b: np.maximum(a, b),
+    Op.AND: lambda a, b: a & b,
+    Op.OR: lambda a, b: a | b,
+    Op.XOR: lambda a, b: a ^ b,
+    Op.SHL: lambda a, b: a << b,
+    Op.SHR: lambda a, b: a >> b,
+}
+
+_FLOAT_BIN = {
+    Op.FADD: lambda a, b: a + b,
+    Op.FSUB: lambda a, b: a - b,
+    Op.FMUL: lambda a, b: a * b,
+    Op.FMIN: lambda a, b: np.minimum(a, b),
+    Op.FMAX: lambda a, b: np.maximum(a, b),
+}
+
+_CMP = {
+    CmpOp.EQ: lambda a, b: a == b,
+    CmpOp.NE: lambda a, b: a != b,
+    CmpOp.LT: lambda a, b: a < b,
+    CmpOp.LE: lambda a, b: a <= b,
+    CmpOp.GT: lambda a, b: a > b,
+    CmpOp.GE: lambda a, b: a >= b,
+}
+
+
+def _read(warp: Warp, operand, lanes: np.ndarray) -> np.ndarray:
+    """Read an operand's value for the selected lanes (float64 array)."""
+    if isinstance(operand, Reg):
+        return warp.regs[operand.idx][lanes]
+    if isinstance(operand, Imm):
+        return np.full(int(lanes.sum()), float(operand.value))
+    if isinstance(operand, SReg):
+        return warp.sregs[operand.kind][lanes]
+    raise ExecutionError(f"cannot read operand {operand!r}")
+
+
+def _read_int(warp: Warp, operand, lanes: np.ndarray) -> np.ndarray:
+    return _read(warp, operand, lanes).astype(np.int64)
+
+
+def _addresses(warp: Warp, ref: MemRef, lanes: np.ndarray) -> np.ndarray:
+    base = warp.regs[ref.base.idx][lanes].astype(np.int64)
+    return base + ref.offset
+
+
+def _write(warp: Warp, dst: Reg, lanes: np.ndarray, values) -> None:
+    warp.regs[dst.idx][lanes] = values
+
+
+def functional_step(warp: Warp, instr, gmem) -> ExecResult:
+    """Execute ``instr`` for ``warp``; updates state and returns metadata."""
+    if warp.finished:
+        raise ExecutionError(f"executing with empty mask (finished warp): {instr!r}")
+    active = warp.active_mask()
+    if active == 0:
+        raise ExecutionError(f"executing with empty mask: {instr!r}")
+
+    # Predication (for non-branch ops) masks lanes out of execution but all
+    # active lanes still advance past the instruction.
+    if instr.op is Op.BRA:
+        return _exec_branch(warp, instr, active)
+
+    exec_mask = active
+    if instr.pred is not None:
+        active_arr = mask_to_array(active)
+        pvals = warp.regs[instr.pred.idx][active_arr] != 0
+        if instr.pred_neg:
+            pvals = ~pvals
+        lane_ids = np.flatnonzero(active_arr)[pvals]
+        exec_mask = int(sum(1 << int(i) for i in lane_ids))
+
+    result = ExecResult(exec_mask=exec_mask)
+    op = instr.op
+
+    if op is Op.EXIT:
+        # Predicated EXIT is disallowed by convention (keeps warp-completion
+        # logic simple); the assembler cannot express it accidentally in our
+        # kernels but guard anyway.
+        if instr.pred is not None:
+            raise ExecutionError("predicated EXIT is not supported")
+        warp.do_exit()
+        result.did_exit = True
+        return result
+
+    if op is Op.BAR:
+        if exec_mask != active:
+            raise ExecutionError("predicated BAR is not supported")
+        result.did_barrier = True
+        warp.advance()
+        return result
+
+    if op is Op.NOP or exec_mask == 0:
+        warp.advance()
+        return result
+
+    lanes = mask_to_array(exec_mask)
+
+    if op in _INT_BIN:
+        a = _read_int(warp, instr.srcs[0], lanes)
+        b = _read_int(warp, instr.srcs[1], lanes)
+        if op in (Op.SHL, Op.SHR) and b.size and (b < 0).any():
+            raise ExecutionError("negative shift amount")
+        _write(warp, instr.dst, lanes, _INT_BIN[op](a, b).astype(np.float64))
+    elif op in _FLOAT_BIN:
+        a = _read(warp, instr.srcs[0], lanes)
+        b = _read(warp, instr.srcs[1], lanes)
+        _write(warp, instr.dst, lanes, _FLOAT_BIN[op](a, b))
+    elif op is Op.IMAD:
+        a = _read_int(warp, instr.srcs[0], lanes)
+        b = _read_int(warp, instr.srcs[1], lanes)
+        c = _read_int(warp, instr.srcs[2], lanes)
+        _write(warp, instr.dst, lanes, (a * b + c).astype(np.float64))
+    elif op is Op.FFMA:
+        a = _read(warp, instr.srcs[0], lanes)
+        b = _read(warp, instr.srcs[1], lanes)
+        c = _read(warp, instr.srcs[2], lanes)
+        _write(warp, instr.dst, lanes, a * b + c)
+    elif op in (Op.IDIV, Op.IREM):
+        a = _read_int(warp, instr.srcs[0], lanes)
+        b = _read_int(warp, instr.srcs[1], lanes)
+        if b.size and (b == 0).any():
+            raise ExecutionError("integer division by zero")
+        quotient = np.trunc(a / b).astype(np.int64)  # C-style truncation
+        value = quotient if op is Op.IDIV else a - quotient * b
+        _write(warp, instr.dst, lanes, value.astype(np.float64))
+    elif op is Op.FDIV:
+        a = _read(warp, instr.srcs[0], lanes)
+        b = _read(warp, instr.srcs[1], lanes)
+        if b.size and (b == 0).any():
+            raise ExecutionError("float division by zero")
+        _write(warp, instr.dst, lanes, a / b)
+    elif op is Op.FSQRT:
+        a = _read(warp, instr.srcs[0], lanes)
+        if a.size and (a < 0).any():
+            raise ExecutionError("sqrt of negative value")
+        _write(warp, instr.dst, lanes, np.sqrt(a))
+    elif op is Op.FEXP:
+        _write(warp, instr.dst, lanes, np.exp(_read(warp, instr.srcs[0], lanes)))
+    elif op is Op.FABS:
+        _write(warp, instr.dst, lanes, np.abs(_read(warp, instr.srcs[0], lanes)))
+    elif op is Op.I2F:
+        _write(warp, instr.dst, lanes, _read_int(warp, instr.srcs[0], lanes).astype(np.float64))
+    elif op is Op.F2I:
+        _write(warp, instr.dst, lanes, np.trunc(_read(warp, instr.srcs[0], lanes)))
+    elif op is Op.MOV:
+        _write(warp, instr.dst, lanes, _read(warp, instr.srcs[0], lanes))
+    elif op is Op.S2R:
+        _write(warp, instr.dst, lanes, _read(warp, instr.srcs[0], lanes))
+    elif op is Op.SEL:
+        c = _read(warp, instr.srcs[0], lanes)
+        a = _read(warp, instr.srcs[1], lanes)
+        b = _read(warp, instr.srcs[2], lanes)
+        _write(warp, instr.dst, lanes, np.where(c != 0, a, b))
+    elif op is Op.SETP:
+        a = _read(warp, instr.srcs[0], lanes)
+        b = _read(warp, instr.srcs[1], lanes)
+        _write(warp, instr.dst, lanes, _CMP[instr.cmp](a, b).astype(np.float64))
+    elif op in (Op.LDG, Op.STG, Op.LDS, Op.STS, Op.ATOMG_ADD, Op.ATOMS_ADD, Op.ATOMG_MAX):
+        _exec_memory(warp, instr, lanes, gmem, result)
+    else:  # pragma: no cover - exhaustive over Op
+        raise ExecutionError(f"unhandled opcode {op}")
+
+    warp.advance()
+    return result
+
+
+def _exec_memory(warp: Warp, instr, lanes: np.ndarray, gmem, result: ExecResult) -> None:
+    op = instr.op
+    ref = instr.srcs[0]
+    addrs = _addresses(warp, ref, lanes)
+    smem = warp.cta.smem
+    if op is Op.LDG:
+        _write(warp, instr.dst, lanes, gmem.load(addrs))
+        result.mem_space = "global"
+    elif op is Op.STG:
+        gmem.store(addrs, _read(warp, instr.srcs[1], lanes))
+        result.mem_space, result.is_store = "global", True
+    elif op is Op.LDS:
+        _write(warp, instr.dst, lanes, smem.load(addrs))
+        result.mem_space = "shared"
+    elif op is Op.STS:
+        smem.store(addrs, _read(warp, instr.srcs[1], lanes))
+        result.mem_space, result.is_store = "shared", True
+    elif op is Op.ATOMG_ADD:
+        _write(warp, instr.dst, lanes, gmem.atomic_add(addrs, _read(warp, instr.srcs[1], lanes)))
+        result.mem_space, result.is_atomic = "global", True
+    elif op is Op.ATOMG_MAX:
+        _write(warp, instr.dst, lanes, gmem.atomic_max(addrs, _read(warp, instr.srcs[1], lanes)))
+        result.mem_space, result.is_atomic = "global", True
+    elif op is Op.ATOMS_ADD:
+        _write(warp, instr.dst, lanes, smem.atomic_add(addrs, _read(warp, instr.srcs[1], lanes)))
+        result.mem_space, result.is_atomic = "shared", True
+    result.addresses = addrs
+
+
+def _exec_branch(warp: Warp, instr, active: int) -> ExecResult:
+    if instr.pred is None:
+        warp.branch_uniform(instr.target)
+        return ExecResult(exec_mask=active)
+    active_arr = mask_to_array(active)
+    pvals = warp.regs[instr.pred.idx] != 0
+    if instr.pred_neg:
+        pvals = ~pvals
+    taken_arr = active_arr & pvals
+    taken = array_to_mask(taken_arr)
+    fall = active & ~taken
+    if fall == 0:
+        warp.branch_uniform(instr.target)
+    elif taken == 0:
+        warp.advance()
+    else:
+        if instr.reconv_pc is None:
+            raise ExecutionError(f"divergent branch without reconvergence PC: {instr!r}")
+        warp.branch_divergent(taken, instr.target, instr.reconv_pc)
+    return ExecResult(exec_mask=active)

@@ -1,0 +1,193 @@
+"""Chip top level: CTA dispatcher, SM array, shared memory system.
+
+:class:`GPU` is the public simulation entry point::
+
+    gpu = GPU(scaled_fermi(num_sms=2, arch="vt"))
+    gmem = GlobalMemory()
+    ... allocate/write buffers ...
+    result = gpu.launch(kernel, grid_dim=(64, 1, 1), gmem=gmem,
+                        params=(gmem.base("a"), gmem.base("b")))
+    print(result.stats.summary())
+
+Each launch builds a fresh chip state (cold caches), making runs
+reproducible and architecture comparisons fair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.kernel import Kernel
+from repro.sim.config import ArchMode, GPUConfig
+from repro.sim.cta import CTA
+from repro.sim.memory import GlobalMemory
+from repro.sim.memsys import MemoryModel
+from repro.sim.smcore import SMCore
+from repro.sim.stats import SimStats
+
+
+class SimulationTimeout(RuntimeError):
+    """The watchdog fired: the launch did not finish within max_cycles."""
+
+
+@dataclass
+class LaunchResult:
+    """Outcome of one kernel launch."""
+
+    stats: SimStats
+    gmem: GlobalMemory
+    kernel: Kernel
+    grid_dim: tuple[int, int, int]
+
+    def read(self, name: str, num_words: int | None = None):
+        """Read a result buffer from global memory."""
+        return self.gmem.read(name, num_words)
+
+
+def _manager_factory(arch: str):
+    if arch == ArchMode.BASELINE:
+        from repro.sim.ctamanager import BaselineManager
+
+        return BaselineManager
+    if arch == ArchMode.IDEAL_SCHED:
+        from repro.sim.ctamanager import IdealSchedManager
+
+        return IdealSchedManager
+    if arch == ArchMode.VT:
+        from repro.core.vt import VirtualThreadManager
+
+        return VirtualThreadManager
+    raise ValueError(f"unknown arch {arch!r}")
+
+
+class GPU:
+    """A simulated GPU; construct once per configuration, launch many."""
+
+    def __init__(self, cfg: GPUConfig | None = None):
+        self.cfg = cfg or GPUConfig()
+        self.cfg.validate()
+
+    def launch(
+        self,
+        kernel: Kernel,
+        grid_dim,
+        gmem: GlobalMemory | None = None,
+        params: tuple[float, ...] = (),
+        max_cycles: int | None = None,
+        tracer=None,
+    ) -> LaunchResult:
+        """Run ``kernel`` over ``grid_dim`` CTAs to completion."""
+        cfg = self.cfg
+        grid = self._normalize_grid(grid_dim)
+        total_ctas = grid[0] * grid[1] * grid[2]
+        if total_ctas <= 0:
+            raise ValueError(f"empty grid {grid}")
+        self._check_kernel_fits(kernel)
+
+        gmem = gmem if gmem is not None else GlobalMemory(line_bytes=cfg.line_bytes)
+        memory_model = MemoryModel(cfg)
+        factory = _manager_factory(cfg.arch)
+        sms = [SMCore(sm_id, cfg, memory_model, factory) for sm_id in range(cfg.num_sms)]
+        for sm in sms:
+            sm.gmem = gmem
+
+        limit = max_cycles if max_cycles is not None else cfg.max_cycles
+        next_cta = 0
+        now = 0
+        rr_offset = 0
+        while True:
+            # Dispatch: at most one CTA per SM per cycle.  Round-robin
+            # rotates the starting SM each cycle (GigaThread-style fairness);
+            # fill-first always starts at SM 0.
+            if next_cta < total_ctas:
+                fill_first = cfg.cta_dispatch == "fill-first"
+                if fill_first:
+                    order = range(len(sms))
+                else:
+                    order = [(rr_offset + i) % len(sms) for i in range(len(sms))]
+                    rr_offset = (rr_offset + 1) % len(sms)
+                for sm_index in order:
+                    sm = sms[sm_index]
+                    if next_cta >= total_ctas:
+                        break
+                    if sm.manager.can_accept(kernel):
+                        cta = CTA(
+                            cta_id=next_cta,
+                            ctaid=self._cta_coords(next_cta, grid),
+                            kernel=kernel,
+                            grid_dim=grid,
+                            params=params,
+                            cfg=cfg,
+                            start_cycle=now + cfg.cta_launch_latency,
+                        )
+                        sm.assign_cta(cta, now)
+                        next_cta += 1
+                        if fill_first:
+                            # One CTA per cycle, always packed into the
+                            # lowest-numbered SM with room.
+                            break
+
+            for sm in sms:
+                if not sm.idle:
+                    sm.step(now)
+            if tracer is not None:
+                tracer.on_cycle(now, sms)
+
+            if next_cta >= total_ctas and all(sm.idle for sm in sms):
+                break
+            now += 1
+            if now >= limit:
+                raise SimulationTimeout(
+                    f"kernel {kernel.name!r} exceeded {limit} cycles "
+                    f"({next_cta}/{total_ctas} CTAs dispatched)"
+                )
+
+        return LaunchResult(
+            stats=self._collect(sms, memory_model, now, total_ctas),
+            gmem=gmem,
+            kernel=kernel,
+            grid_dim=grid,
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _check_kernel_fits(self, kernel: Kernel) -> None:
+        cfg = self.cfg
+        if kernel.regs_per_thread * kernel.threads_per_cta > cfg.registers_per_sm:
+            raise ValueError(f"kernel {kernel.name!r}: one CTA exceeds the register file")
+        if kernel.smem_bytes > cfg.smem_per_sm:
+            raise ValueError(f"kernel {kernel.name!r}: one CTA exceeds shared memory")
+        if kernel.threads_per_cta > cfg.max_threads_per_sm:
+            raise ValueError(f"kernel {kernel.name!r}: CTA exceeds thread slots")
+        if kernel.warps_per_cta(cfg.warp_size) > cfg.max_warps_per_sm:
+            raise ValueError(f"kernel {kernel.name!r}: CTA exceeds warp slots")
+
+    @staticmethod
+    def _normalize_grid(grid_dim) -> tuple[int, int, int]:
+        if isinstance(grid_dim, int):
+            return (grid_dim, 1, 1)
+        dims = tuple(int(d) for d in grid_dim)
+        while len(dims) < 3:
+            dims = dims + (1,)
+        return dims[:3]
+
+    @staticmethod
+    def _cta_coords(index: int, grid: tuple[int, int, int]) -> tuple[int, int, int]:
+        gx, gy, _gz = grid
+        return (index % gx, (index // gx) % gy, index // (gx * gy))
+
+    @staticmethod
+    def _collect(sms, memory_model, cycles: int, total_ctas: int) -> SimStats:
+        stats = SimStats()
+        stats.cycles = cycles
+        stats.ctas_launched = total_ctas
+        for sm in sms:
+            sm.stats.l1_accesses = sm.l1.tags.accesses
+            sm.stats.l1_hits = sm.l1.tags.hits
+            stats.sm_stats.append(sm.stats)
+            stats.instructions += sm.stats.instructions
+            stats.thread_instructions += sm.stats.thread_instructions
+        stats.l2_accesses = memory_model.l2_accesses
+        stats.l2_hits = memory_model.l2_hits
+        stats.dram_requests = memory_model.dram_requests
+        return stats

@@ -1,0 +1,25 @@
+"""Interconnect between the SMs and the memory partitions.
+
+Modeled as a latency + bandwidth link: every packet pays a fixed one-way
+latency, and the shared injection port serializes packets at a fixed rate.
+The same completion-time bookkeeping as the DRAM model applies.
+"""
+
+from __future__ import annotations
+
+
+class Link:
+    """A shared latency/bandwidth link (one direction)."""
+
+    def __init__(self, latency: int, service_cycles: int = 1):
+        self.latency = latency
+        self.service_cycles = service_cycles
+        self._next_free = 0
+        self.packets = 0
+
+    def traverse(self, now: int) -> int:
+        """Inject a packet at ``now``; returns its arrival cycle."""
+        start = max(now, self._next_free)
+        self._next_free = start + self.service_cycles
+        self.packets += 1
+        return start + self.latency

@@ -1,0 +1,35 @@
+"""Load/store unit helpers: global-memory coalescing and shared-memory
+bank-conflict analysis.
+
+Coalescing follows the post-Fermi rule: the active lanes' byte addresses
+are grouped into the minimal set of aligned ``line_bytes`` segments; each
+segment becomes one memory transaction.  A fully coalesced warp touching
+consecutive 4-byte words produces one 128-byte transaction; a strided or
+random warp fans out to up to 32.
+
+Shared memory is organized in 32 word-interleaved banks.  Lanes hitting
+different words in the same bank serialize into multiple passes; lanes
+reading the *same* word broadcast in one pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def coalesce(byte_addrs: np.ndarray, line_bytes: int) -> list[int]:
+    """Unique aligned segment base addresses touched by the lanes."""
+    if byte_addrs.size == 0:
+        return []
+    lines = np.unique(byte_addrs // line_bytes)
+    return [int(line) * line_bytes for line in lines]
+
+
+def bank_conflict_passes(byte_addrs: np.ndarray, num_banks: int, word_bytes: int = 4) -> int:
+    """Number of serialized passes needed to satisfy a shared access."""
+    if byte_addrs.size == 0:
+        return 1
+    words = np.unique(byte_addrs // word_bytes)
+    banks = words % num_banks
+    _unique, counts = np.unique(banks, return_counts=True)
+    return int(counts.max())

@@ -1,0 +1,135 @@
+"""Warp-scheduler policies.
+
+Each SM has ``num_warp_schedulers`` schedulers; resident warps are
+partitioned among them by warp-slot index.  Every cycle each scheduler
+picks at most one issuable warp according to its policy:
+
+* **LRR** — loose round-robin: rotate through warps, issue the first ready.
+* **GTO** — greedy-then-oldest: keep issuing the same warp until it stalls,
+  then fall back to the oldest (earliest-assigned) ready warp.  This is the
+  paper's (and GPGPU-Sim's) default.
+* **two-level** — a small active set is scheduled LRR; stalled warps are
+  demoted to the pending set and replaced by pending warps.
+
+Schedulers only *order* candidates; issuability is decided by the SM core
+via the ``issuable(warp)`` callback so policy code stays timing-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.warp import Warp
+
+
+class SchedulerBase:
+    """Common bookkeeping: the set of warps owned by this scheduler."""
+
+    def __init__(self):
+        self.warps: list[Warp] = []
+
+    def add_warp(self, warp: Warp) -> None:
+        self.warps.append(warp)
+
+    def remove_warp(self, warp: Warp) -> None:
+        self.warps.remove(warp)
+
+    def pick(self, issuable: Callable[[Warp], bool]) -> Optional[Warp]:
+        raise NotImplementedError
+
+
+class LrrScheduler(SchedulerBase):
+    """Loose round-robin."""
+
+    def __init__(self):
+        super().__init__()
+        self._next = 0
+
+    def pick(self, issuable):
+        n = len(self.warps)
+        for offset in range(n):
+            idx = (self._next + offset) % n
+            warp = self.warps[idx]
+            if issuable(warp):
+                self._next = (idx + 1) % n
+                return warp
+        return None
+
+
+class GtoScheduler(SchedulerBase):
+    """Greedy-then-oldest.
+
+    ``self.warps`` is kept in assignment (age) order — warps are appended
+    on add and order is preserved on removal — so the oldest-first
+    fallback is a plain in-order scan.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._greedy: Optional[Warp] = None
+
+    def remove_warp(self, warp):
+        super().remove_warp(warp)
+        if self._greedy is warp:
+            self._greedy = None
+
+    def pick(self, issuable):
+        if self._greedy is not None and issuable(self._greedy):
+            return self._greedy
+        for warp in self.warps:  # oldest (earliest-assigned) first
+            if issuable(warp):
+                self._greedy = warp
+                return warp
+        self._greedy = None
+        return None
+
+
+class TwoLevelScheduler(SchedulerBase):
+    """Two-level scheduler with a bounded active set."""
+
+    def __init__(self, active_size: int = 8):
+        super().__init__()
+        self.active_size = active_size
+        self._active: list[Warp] = []
+        self._next = 0
+
+    def remove_warp(self, warp):
+        super().remove_warp(warp)
+        if warp in self._active:
+            self._active.remove(warp)
+
+    def _refill(self, issuable):
+        if len(self._active) >= self.active_size:
+            return
+        for warp in self.warps:
+            if warp not in self._active and issuable(warp):
+                self._active.append(warp)
+                if len(self._active) >= self.active_size:
+                    return
+
+    def pick(self, issuable):
+        for _attempt in range(2):
+            self._refill(issuable)
+            n = len(self._active)
+            for offset in range(n):
+                idx = (self._next + offset) % n
+                warp = self._active[idx]
+                if issuable(warp):
+                    self._next = (idx + 1) % n
+                    return warp
+            # Demote stalled warps and retry once so a pending ready warp
+            # can be promoted within the same cycle.
+            self._active = [w for w in self._active if issuable(w)]
+            self._next = 0
+        return None
+
+
+def make_scheduler(policy: str) -> SchedulerBase:
+    """Factory keyed by ``GPUConfig.warp_scheduler``."""
+    if policy == "lrr":
+        return LrrScheduler()
+    if policy == "gto":
+        return GtoScheduler()
+    if policy == "two-level":
+        return TwoLevelScheduler()
+    raise ValueError(f"unknown warp scheduler {policy!r}")

@@ -1,0 +1,72 @@
+"""Per-warp register scoreboard.
+
+Tracks which registers have an in-flight producer and when they become
+readable.  Entries additionally remember whether the producer was a
+*global-memory* operation: that provenance is what classifies a stalled
+warp as "long-latency stalled", the condition Virtual Thread's swap
+trigger is built on.
+"""
+
+from __future__ import annotations
+
+
+class Scoreboard:
+    """Register -> (ready_cycle, produced_by_global_load) for one warp."""
+
+    __slots__ = ("_pending", "_mem_pending_until")
+
+    def __init__(self):
+        self._pending: dict[int, tuple[int, bool]] = {}
+        self._mem_pending_until = 0
+
+    def set_pending(self, reg: int, ready_cycle: int, is_global: bool) -> None:
+        self._pending[reg] = (ready_cycle, is_global)
+        if is_global and ready_cycle > self._mem_pending_until:
+            self._mem_pending_until = ready_cycle
+
+    def _purge(self, now: int) -> None:
+        if not self._pending:
+            return
+        expired = [r for r, (t, _g) in self._pending.items() if t <= now]
+        for reg in expired:
+            del self._pending[reg]
+
+    def blocking(self, instr, now: int) -> tuple[int, bool]:
+        """(latest blocking ready-cycle, blocked-by-global?) for ``instr``.
+
+        Returns ``(now, False)`` when the instruction can issue.  Both the
+        sources and the destination are checked: the destination must be
+        free to preserve in-order write semantics (WAW) within a warp.
+        """
+        if not self._pending:
+            return now, False
+        self._purge(now)
+        if not self._pending:
+            return now, False
+        latest = now
+        any_global = False
+        regs = instr.src_regs()
+        dst = instr.dst_reg()
+        if dst is not None:
+            regs.append(dst)
+        for reg in regs:
+            entry = self._pending.get(reg)
+            if entry is not None and entry[0] > latest:
+                latest = entry[0]
+                # classify by the *latest* blocker: it dominates the stall
+                any_global = entry[1]
+            elif entry is not None and entry[1]:
+                any_global = True
+        return latest, any_global
+
+    def mem_pending_until(self) -> int:
+        """Latest outstanding global-load completion (0 if none ever)."""
+        return self._mem_pending_until
+
+    def has_mem_pending(self, now: int) -> bool:
+        return self._mem_pending_until > now
+
+    def outstanding(self, now: int) -> dict[int, tuple[int, bool]]:
+        """Snapshot of still-pending registers (for tests/inspection)."""
+        self._purge(now)
+        return dict(self._pending)

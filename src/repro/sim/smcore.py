@@ -1,0 +1,261 @@
+"""Streaming-multiprocessor timing model.
+
+Per cycle, each warp scheduler picks at most one issuable warp; the chosen
+instruction executes functionally and its timing effects are recorded:
+scoreboard release times for dependants, structural busy horizons for the
+LD/ST and SFU pipelines, and memory-transaction completion times from the
+cache hierarchy.
+
+Warp readiness is classified into status codes that serve three consumers
+at once: the issue logic, the idle-cycle accounting (paper motivation
+figure), and the Virtual Thread swap trigger ("every warp of the CTA is
+long-latency stalled").  Statuses are cached with a validity horizon so
+idle SMs do not rescan scoreboards every cycle.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import Op, OpClass
+from repro.sim.cache import L1Cache
+from repro.sim.cta import CTA, CTAState
+from repro.sim.exec import functional_step
+from repro.sim.ldst import bank_conflict_passes, coalesce
+from repro.sim.schedulers import make_scheduler
+from repro.sim.stats import SMStats
+
+# Warp status codes (ints for speed; cached on the warp object).
+ST_READY = 0
+ST_MEM = 1  # blocked on an outstanding global-memory dependence
+ST_ALU = 2  # blocked on a short (non-memory) dependence
+ST_BARRIER = 3
+ST_FINISHED = 4
+
+_FOREVER = 1 << 60
+_OCCUPANCY_STRIDE = 16  # occupancy is sampled every N cycles
+
+
+class SMCore:
+    """One SM: warp slots, schedulers, L1, and a CTA residency manager."""
+
+    def __init__(self, sm_id: int, cfg, memory_model, make_manager):
+        self.sm_id = sm_id
+        self.cfg = cfg
+        self.stats = SMStats()
+        self.l1 = L1Cache(cfg, memory_model, sm_id)
+        self.manager = make_manager(cfg, self.stats)
+        self.schedulers = [make_scheduler(cfg.warp_scheduler) for _ in range(cfg.num_warp_schedulers)]
+        self._next_sched = 0
+        self._ldst_free = 0  # global-memory pipeline
+        self._smem_free = 0  # shared-memory pipeline (separate on Fermi)
+        self._sfu_free = 0
+        self.gmem = None  # set at launch
+        self._live_ctas = 0
+
+    # -- CTA lifecycle -------------------------------------------------------
+
+    def assign_cta(self, cta: CTA, now: int) -> None:
+        self.manager.on_assign(cta, now)
+        for warp in cta.warps:
+            self.schedulers[self._next_sched].add_warp(warp)
+            self._next_sched = (self._next_sched + 1) % len(self.schedulers)
+        self._live_ctas += 1
+
+    def _finish_cta(self, cta: CTA, now: int) -> None:
+        for warp in cta.warps:
+            for scheduler in self.schedulers:
+                if warp in scheduler.warps:
+                    scheduler.remove_warp(warp)
+                    break
+        self.manager.on_cta_finish(cta, now)
+        self._live_ctas -= 1
+
+    @property
+    def idle(self) -> bool:
+        return self._live_ctas == 0
+
+    # -- warp status ------------------------------------------------------------
+
+    def _status(self, warp, now: int) -> int:
+        if now < warp.status_until:
+            return warp.cached_status
+        if warp.finished:
+            status, until = ST_FINISHED, _FOREVER
+        elif warp.at_barrier:
+            status, until = ST_BARRIER, _FOREVER  # invalidated on release
+        elif warp.barrier_wake > now:
+            status, until = ST_BARRIER, warp.barrier_wake
+        else:
+            instr = warp.cta.kernel.instrs[warp.pc]
+            blocked_until, any_global = warp.scoreboard.blocking(instr, now)
+            if blocked_until > now:
+                status = ST_MEM if any_global else ST_ALU
+                until = blocked_until
+            else:
+                status, until = ST_READY, _FOREVER  # invalidated on issue
+        warp.cached_status = status
+        warp.status_until = until
+        return status
+
+    def _structural_ok(self, warp, now: int) -> bool:
+        instr = warp.cta.kernel.instrs[warp.pc]
+        op_class = instr.info.op_class
+        if op_class is OpClass.MEM_GLOBAL:
+            if self._ldst_free > now:
+                return False
+            if not instr.is_store and not self.l1.mshr_available(now):
+                return False
+            return True
+        if op_class is OpClass.MEM_SHARED:
+            return self._smem_free <= now
+        if op_class is OpClass.SFU:
+            return self._sfu_free <= now
+        return True
+
+    def _issuable(self, warp, now: int) -> bool:
+        if not self.manager.is_schedulable(warp.cta, now):
+            return False
+        if self._status(warp, now) != ST_READY:
+            return False
+        return self._structural_ok(warp, now)
+
+    # -- issue ---------------------------------------------------------------------
+
+    def _issue(self, warp, now: int) -> None:
+        cta = warp.cta
+        instr = cta.kernel.instrs[warp.pc]
+        result = functional_step(warp, instr, self.gmem)
+        warp.status_until = -1
+        warp.instructions_issued += 1
+        self.stats.instructions += 1
+        self.stats.thread_instructions += result.lanes
+        class_key = instr.info.op_class.value
+        by_class = self.stats.instructions_by_class
+        by_class[class_key] = by_class.get(class_key, 0) + 1
+
+        info = instr.info
+        op_class = info.op_class
+
+        if result.did_barrier:
+            cta.barrier_arrive(warp, now)
+            return
+        if result.did_exit:
+            if warp.finished:
+                if cta.finished:
+                    self._finish_cta(cta, now)
+                else:
+                    # A finished warp may be the last arrival a barrier waits for.
+                    cta.check_barrier_release(now)
+            return
+
+        if result.addresses is None and info.is_mem:
+            # Fully predicated-off memory op: occupies an issue slot only.
+            return
+        if op_class is OpClass.MEM_GLOBAL:
+            self._issue_global(warp, instr, result, now)
+        elif op_class is OpClass.MEM_SHARED:
+            self._issue_shared(warp, instr, result, now)
+        elif op_class is OpClass.SFU:
+            self._sfu_free = now + self.cfg.sfu_issue_interval
+            if instr.dst is not None:
+                warp.scoreboard.set_pending(instr.dst.idx, now + self.cfg.lat_sfu, False)
+        elif op_class is not OpClass.CTRL:
+            if instr.dst is not None:
+                latency = self.cfg.latency_for(op_class)
+                warp.scoreboard.set_pending(instr.dst.idx, now + latency, False)
+
+    def _issue_global(self, warp, instr, result, now: int) -> None:
+        lines = coalesce(result.addresses, self.cfg.line_bytes)
+        count = max(1, len(lines))
+        self._ldst_free = now + count
+        self.stats.global_transactions += len(lines)
+        if instr.is_store:
+            for i, line in enumerate(lines):
+                self.l1.write(line, now + i)
+            return
+        access = self.l1.atomic if instr.info.is_atomic else self.l1.read
+        ready = now
+        for i, line in enumerate(lines):
+            completion = access(line, now + i)
+            if completion > ready:
+                ready = completion
+        if instr.dst is not None:
+            is_long = ready - now >= self.cfg.vt_long_stall_threshold
+            warp.scoreboard.set_pending(instr.dst.idx, ready, is_long)
+
+    def _issue_shared(self, warp, instr, result, now: int) -> None:
+        passes = bank_conflict_passes(result.addresses, self.cfg.shared_mem_banks)
+        self._smem_free = now + passes
+        self.stats.smem_accesses += 1
+        self.stats.smem_bank_conflict_passes += passes
+        if instr.dst is not None:
+            latency = self.cfg.lat_smem + (passes - 1) * self.cfg.smem_bank_conflict_penalty
+            warp.scoreboard.set_pending(instr.dst.idx, now + latency, False)
+
+    # -- per-cycle step ------------------------------------------------------------
+
+    def step(self, now: int) -> None:
+        self.stats.cycles += 1
+        self.manager.update(now, lambda warp: self._status(warp, now))
+
+        issued = 0
+        for scheduler in self.schedulers:
+            self.stats.issue_slots += 1
+            if not scheduler.warps:
+                continue
+            warp = scheduler.pick(lambda w: self._issuable(w, now))
+            if warp is not None:
+                self._issue(warp, now)
+                issued += 1
+                self.stats.issued_slots += 1
+
+        if now % _OCCUPANCY_STRIDE == 0:
+            self._sample_occupancy(now)
+        if issued == 0:
+            self._classify_idle(now)
+
+    def _sample_occupancy(self, now: int) -> None:
+        manager = self.manager
+        self.stats.occupancy_samples += 1
+        self.stats.resident_cta_samples += len(manager.resident)
+        self.stats.active_cta_samples += manager.active_cta_count
+        self.stats.resident_warp_samples += manager.resident_warp_count()
+        self.stats.schedulable_warp_samples += manager.schedulable_warp_count(now)
+
+    def _classify_idle(self, now: int) -> None:
+        stats = self.stats
+        n_ready = n_alu = n_mem = n_barrier = 0
+        any_swap = False
+        any_resident = False
+        for cta in self.manager.resident:
+            if cta.state in (CTAState.SWAP_OUT, CTAState.SWAP_IN):
+                any_swap = True
+            if not self.manager.is_schedulable(cta, now):
+                continue
+            for warp in cta.warps:
+                status = self._status(warp, now)
+                if status == ST_FINISHED:
+                    continue
+                any_resident = True
+                if status == ST_READY:
+                    n_ready += 1
+                elif status == ST_ALU:
+                    n_alu += 1
+                elif status == ST_MEM:
+                    n_mem += 1
+                elif status == ST_BARRIER:
+                    n_barrier += 1
+        if not any_resident:
+            if any_swap:
+                stats.idle_cycles_swap += 1
+            else:
+                stats.idle_cycles_empty += 1
+        elif n_ready:
+            stats.idle_cycles_struct += 1
+        elif n_alu:
+            stats.idle_cycles_alu += 1
+        elif n_mem:
+            stats.idle_cycles_mem += 1
+        elif n_barrier:
+            stats.idle_cycles_barrier += 1
+        else:  # pragma: no cover - defensive
+            stats.idle_cycles_empty += 1

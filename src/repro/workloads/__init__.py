@@ -1,0 +1,21 @@
+"""Deterministic input generators for the benchmark kernels.
+
+Every generator takes an explicit seed (defaulting per-workload) so runs
+are reproducible; all inputs are small positive floats/ints that the
+float64-backed memory model represents exactly where exactness matters
+(indices, counters).
+"""
+
+from repro.workloads.arrays import random_array, random_ints
+from repro.workloads.graphs import random_csr_graph, bfs_levels
+from repro.workloads.matrices import random_csr_matrix
+from repro.workloads.grids import random_grid
+
+__all__ = [
+    "random_array",
+    "random_ints",
+    "random_csr_graph",
+    "bfs_levels",
+    "random_csr_matrix",
+    "random_grid",
+]

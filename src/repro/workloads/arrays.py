@@ -1,0 +1,17 @@
+"""Dense-array inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_array(n: int, seed: int = 0, low: float = 0.0, high: float = 1.0) -> np.ndarray:
+    """Uniform floats in [low, high); float64, reproducible."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(low, high, n)
+
+
+def random_ints(n: int, seed: int = 0, low: int = 0, high: int = 256) -> np.ndarray:
+    """Uniform integers in [low, high) stored as exact float64."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(low, high, n).astype(np.float64)

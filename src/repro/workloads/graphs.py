@@ -1,0 +1,58 @@
+"""Graph inputs for the BFS benchmark: random CSR graphs and BFS levels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+INF_LEVEL = 1_000_000  # "unvisited" marker that survives float64 exactly
+
+
+def random_csr_graph(num_nodes: int, avg_degree: int, seed: int = 0):
+    """A random directed graph in CSR form.
+
+    Returns ``(row_ptr, col_idx)`` as exact-integer float64 arrays.  Degree
+    varies per node (0..2*avg_degree) so warps diverge on the neighbour
+    loop, reproducing BFS's irregular control flow.
+    """
+    rng = np.random.default_rng(seed)
+    degrees = rng.integers(0, 2 * avg_degree + 1, num_nodes)
+    row_ptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(degrees, out=row_ptr[1:])
+    col_idx = rng.integers(0, num_nodes, int(row_ptr[-1]))
+    return row_ptr.astype(np.float64), col_idx.astype(np.float64)
+
+
+def bfs_levels(row_ptr: np.ndarray, col_idx: np.ndarray, source: int, max_level: int | None = None):
+    """Reference BFS levels (INF_LEVEL where unreachable)."""
+    n = len(row_ptr) - 1
+    level = np.full(n, INF_LEVEL, dtype=np.int64)
+    level[source] = 0
+    frontier = [source]
+    depth = 0
+    rp = row_ptr.astype(np.int64)
+    ci = col_idx.astype(np.int64)
+    while frontier and (max_level is None or depth < max_level):
+        nxt = []
+        for v in frontier:
+            for j in range(rp[v], rp[v + 1]):
+                w = ci[j]
+                if level[w] == INF_LEVEL:
+                    level[w] = depth + 1
+                    nxt.append(w)
+        frontier = nxt
+        depth += 1
+    return level.astype(np.float64)
+
+
+def bfs_expand_level(row_ptr, col_idx, level, current: int):
+    """One BFS level expansion (what the kernel performs): every node at
+    ``current`` marks unvisited neighbours ``current + 1``."""
+    rp = row_ptr.astype(np.int64)
+    ci = col_idx.astype(np.int64)
+    out = level.copy()
+    for v in np.flatnonzero(level == current):
+        for j in range(rp[v], rp[v + 1]):
+            w = ci[j]
+            if out[w] == INF_LEVEL:
+                out[w] = current + 1
+    return out

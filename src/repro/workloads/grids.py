@@ -1,0 +1,22 @@
+"""2D-grid inputs for the stencil benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_grid(height: int, width: int, seed: int = 0, low: float = 0.0, high: float = 1.0):
+    """A random ``height × width`` field, row-major float64."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(low, high, (height, width))
+
+
+def stencil5_reference(field: np.ndarray, center_weight: float, neighbor_weight: float):
+    """5-point stencil with clamped (replicated) borders — the reference
+    for the hotspot-like kernel."""
+    padded = np.pad(field, 1, mode="edge")
+    north = padded[:-2, 1:-1]
+    south = padded[2:, 1:-1]
+    west = padded[1:-1, :-2]
+    east = padded[1:-1, 2:]
+    return center_weight * field + neighbor_weight * (north + south + east + west)

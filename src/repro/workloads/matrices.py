@@ -1,0 +1,31 @@
+"""Sparse-matrix inputs for SPMV."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_csr_matrix(rows: int, cols: int, avg_nnz_per_row: int, seed: int = 0):
+    """Random CSR matrix with per-row nnz in 1..2*avg (irregular rows).
+
+    Returns ``(row_ptr, col_idx, values)``; indices are exact float64.
+    """
+    rng = np.random.default_rng(seed)
+    nnz_per_row = rng.integers(1, 2 * avg_nnz_per_row + 1, rows)
+    row_ptr = np.zeros(rows + 1, dtype=np.int64)
+    np.cumsum(nnz_per_row, out=row_ptr[1:])
+    total = int(row_ptr[-1])
+    col_idx = rng.integers(0, cols, total)
+    values = rng.uniform(0.1, 1.0, total)
+    return row_ptr.astype(np.float64), col_idx.astype(np.float64), values
+
+
+def csr_matvec(row_ptr, col_idx, values, x):
+    """Reference y = A @ x over the CSR triplet."""
+    rp = row_ptr.astype(np.int64)
+    ci = col_idx.astype(np.int64)
+    y = np.zeros(len(rp) - 1)
+    for r in range(len(y)):
+        lo, hi = rp[r], rp[r + 1]
+        y[r] = float(values[lo:hi] @ x[ci[lo:hi]])
+    return y

@@ -1,0 +1,65 @@
+"""Shared fixtures: tiny kernels and small configurations for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.sim.config import GPUConfig, scaled_fermi
+
+
+@pytest.fixture
+def small_cfg() -> GPUConfig:
+    """One-SM config for fast integration tests."""
+    return scaled_fermi(num_sms=1)
+
+
+COPY_ASM = """
+.kernel copy
+.regs 10
+.cta 64
+entry:
+    S2R   r0, %ctaid_x
+    S2R   r1, %ntid_x
+    S2R   r2, %tid_x
+    IMAD  r3, r0, r1, r2
+    SHL   r4, r3, #2
+    S2R   r5, %param0
+    IADD  r6, r5, r4
+    LDG   r7, [r6]
+    S2R   r8, %param1
+    IADD  r9, r8, r4
+    STG   [r9], r7
+    EXIT
+"""
+
+
+@pytest.fixture
+def copy_kernel():
+    return assemble(COPY_ASM)
+
+
+DIVERGE_ASM = """
+.kernel diverge
+.regs 10
+.cta 32
+entry:
+    S2R   r0, %tid_x
+    SETP.LT r1, r0, #16
+@r1 BRA   low
+    MOV   r2, #200
+    BRA   join
+low:
+    MOV   r2, #100
+join:
+    SHL   r3, r0, #2
+    S2R   r4, %param0
+    IADD  r3, r3, r4
+    STG   [r3], r2
+    EXIT
+"""
+
+
+@pytest.fixture
+def diverge_kernel():
+    return assemble(DIVERGE_ASM)

@@ -1,0 +1,53 @@
+"""Architectural equivalence: VT is a pure performance mechanism.
+
+For every benchmark, the final global-memory image must be *identical*
+(bit-for-bit) across baseline, VT and ideal-sched, and across repeated
+runs (determinism).  This is the reproduction's strongest end-to-end
+invariant: CTA virtualization and context switching may reorder execution
+but can never change results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import all_benchmarks
+from repro.sim.config import scaled_fermi
+from repro.sim.gpu import GPU
+
+BENCHES = all_benchmarks()
+SCALE = 0.25
+
+
+def final_memory(bench, arch, num_sms=1):
+    prep = bench.prepare(SCALE)
+    gpu = GPU(scaled_fermi(num_sms=num_sms, arch=arch))
+    result = gpu.launch(bench.kernel, prep.grid_dim, prep.gmem, prep.params)
+    return result.gmem.data.copy(), result.stats.cycles
+
+
+@pytest.mark.parametrize("bench", BENCHES, ids=lambda b: b.name)
+def test_vt_memory_identical_to_baseline(bench):
+    base_mem, _ = final_memory(bench, "baseline")
+    vt_mem, _ = final_memory(bench, "vt")
+    assert np.array_equal(base_mem, vt_mem), bench.name
+
+
+@pytest.mark.parametrize("bench", BENCHES[:6], ids=lambda b: b.name)
+def test_ideal_memory_identical_to_baseline(bench):
+    base_mem, _ = final_memory(bench, "baseline")
+    ideal_mem, _ = final_memory(bench, "ideal-sched")
+    assert np.array_equal(base_mem, ideal_mem), bench.name
+
+
+@pytest.mark.parametrize("bench", BENCHES[:6], ids=lambda b: b.name)
+def test_runs_are_cycle_deterministic(bench):
+    _mem1, cycles1 = final_memory(bench, "vt")
+    _mem2, cycles2 = final_memory(bench, "vt")
+    assert cycles1 == cycles2, bench.name
+
+
+@pytest.mark.parametrize("bench", [BENCHES[1]], ids=lambda b: b.name)
+def test_multi_sm_memory_matches_single_sm(bench):
+    one, _ = final_memory(bench, "vt", num_sms=1)
+    two, _ = final_memory(bench, "vt", num_sms=2)
+    assert np.array_equal(one, two)

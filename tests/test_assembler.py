@@ -1,0 +1,182 @@
+"""Assembler: syntax, directives, labels, predication, errors."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble, assemble_many
+from repro.isa.instruction import Imm, MemRef, Reg, SReg, SpecialReg
+from repro.isa.opcodes import CmpOp, Op
+
+
+MINIMAL = """
+.kernel t
+.regs 4
+.cta 32
+    MOV r0, #1
+    EXIT
+"""
+
+
+def test_minimal_kernel():
+    k = assemble(MINIMAL)
+    assert k.name == "t"
+    assert k.regs_per_thread == 4
+    assert k.cta_dim == (32, 1, 1)
+    assert [i.op for i in k.instrs] == [Op.MOV, Op.EXIT]
+
+
+def test_immediate_forms():
+    k = assemble("""
+.kernel t
+.regs 8
+    MOV r0, #1
+    MOV r1, 2
+    MOV r2, #-3
+    MOV r3, #1.5
+    MOV r4, #1e3
+    EXIT
+""")
+    values = [i.srcs[0].value for i in k.instrs[:5]]
+    assert values == [1, 2, -3, 1.5, 1000.0]
+    assert isinstance(k.instrs[0].srcs[0], Imm)
+
+
+def test_memref_parsing():
+    k = assemble("""
+.kernel t
+.regs 8
+    LDG r0, [r1]
+    LDG r2, [r3+8]
+    LDG r4, [r5-4]
+    STG [r6], r0
+    EXIT
+""")
+    assert k.instrs[0].srcs[0] == MemRef(Reg(1), 0)
+    assert k.instrs[1].srcs[0] == MemRef(Reg(3), 8)
+    assert k.instrs[2].srcs[0] == MemRef(Reg(5), -4)
+    assert k.instrs[3].srcs == (MemRef(Reg(6), 0), Reg(0))
+
+
+def test_special_registers():
+    k = assemble("""
+.kernel t
+.regs 4
+    S2R r0, %tid_x
+    S2R r1, %param3
+    EXIT
+""")
+    assert k.instrs[0].srcs[0] == SReg(SpecialReg.TID_X)
+    assert k.instrs[1].srcs[0] == SReg(SpecialReg.PARAM3)
+
+
+def test_predication_and_negation():
+    k = assemble("""
+.kernel t
+.regs 8
+    SETP.GE r1, r0, #4
+@r1  MOV r2, #1
+@!r1 MOV r2, #2
+    EXIT
+""")
+    assert k.instrs[0].cmp is CmpOp.GE
+    assert k.instrs[1].pred == Reg(1) and not k.instrs[1].pred_neg
+    assert k.instrs[2].pred == Reg(1) and k.instrs[2].pred_neg
+
+
+def test_labels_forward_and_backward():
+    k = assemble("""
+.kernel t
+.regs 8
+top:
+    IADD r0, r0, #1
+    SETP.LT r1, r0, #3
+@r1 BRA top
+@r1 BRA bottom
+bottom:
+    EXIT
+""")
+    assert k.instrs[2].target == 0
+    assert k.instrs[3].target == 4
+    assert k.labels == {"top": 0, "bottom": 4}
+
+
+def test_comments_stripped():
+    k = assemble("""
+# full line comment
+.kernel t
+.regs 4
+    MOV r0, #1   // trailing comment
+    // another
+    EXIT
+""")
+    assert len(k.instrs) == 2
+
+
+def test_multiple_kernels():
+    kernels = assemble_many("""
+.kernel a
+.regs 4
+    EXIT
+.kernel b
+.regs 4
+    EXIT
+""")
+    assert set(kernels) == {"a", "b"}
+
+
+def test_assemble_rejects_multiple():
+    with pytest.raises(AssemblerError):
+        assemble(".kernel a\n.regs 4\nEXIT\n.kernel b\n.regs 4\nEXIT")
+
+
+@pytest.mark.parametrize("text,fragment", [
+    ("MOV r0, #1\nEXIT", "before .kernel"),
+    (".kernel t\n.regs 4\nBOGUS r0, r1\nEXIT", "unknown opcode"),
+    (".kernel t\n.regs 4\nMOV r0, %nope\nEXIT", "unknown special register"),
+    (".kernel t\n.regs 4\nSETP r0, r1, r2\nEXIT", "needs a comparison"),
+    (".kernel t\n.regs 4\nSETP.XX r0, r1, r2\nEXIT", "unknown comparison"),
+    (".kernel t\n.regs 4\nBRA nowhere\nEXIT", "undefined label"),
+    (".kernel t\n.regs 4\nx:\nx:\nEXIT", "duplicate label"),
+    (".kernel t\n.regs 4\nMOV #1, #1\nEXIT", "register destination"),
+    (".kernel t\n.regs 4\nIADD r0, r1\nEXIT", "expects 2 sources"),
+    (".kernel t\n.regs 4\nBRA\nEXIT", "needs a target"),
+    (".kernel t\n.regs 4\nMOV r0, ???\nEXIT", "cannot parse operand"),
+    (".kernel t\n.bogus 4\nEXIT", "unknown directive"),
+    ("", "no .kernel"),
+])
+def test_syntax_errors(text, fragment):
+    with pytest.raises(AssemblerError, match=fragment):
+        assemble_many(text)
+
+
+def test_error_carries_line_number():
+    with pytest.raises(AssemblerError, match="line 3"):
+        assemble(".kernel t\n.regs 4\nBOGUS r0\nEXIT")
+
+
+def test_validation_register_bound():
+    with pytest.raises(Exception, match="r9"):
+        assemble(".kernel t\n.regs 4\nMOV r9, #1\nEXIT")
+
+
+def test_kernel_without_exit_rejected():
+    with pytest.raises(Exception, match="EXIT"):
+        assemble(".kernel t\n.regs 4\nMOV r0, #1")
+
+
+def test_cta_directive_partial_dims():
+    k = assemble(".kernel t\n.regs 4\n.cta 16 4\nEXIT")
+    assert k.cta_dim == (16, 4, 1)
+    assert k.threads_per_cta == 64
+    assert k.warps_per_cta() == 2
+
+
+def test_smem_directive():
+    k = assemble(".kernel t\n.regs 4\n.smem 2048\nEXIT")
+    assert k.smem_bytes == 2048
+
+
+def test_disassemble_roundtrip_readable():
+    k = assemble(MINIMAL)
+    listing = k.disassemble()
+    assert ".kernel t" in listing
+    assert "MOV" in listing and "EXIT" in listing

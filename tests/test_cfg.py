@@ -1,0 +1,135 @@
+"""CFG construction and reconvergence-point (IPD) analysis."""
+
+from repro.isa.assembler import assemble
+from repro.isa.cfg import EXIT_PC, build_cfg, reconvergence_table
+
+
+def _kernel(body: str):
+    return assemble(f".kernel t\n.regs 8\n{body}")
+
+
+def test_straight_line_single_block():
+    k = _kernel("MOV r0, #1\nIADD r0, r0, #1\nEXIT")
+    blocks = build_cfg(k.instrs)
+    assert len(blocks) == 1
+    assert blocks[0].start == 0 and blocks[0].end == 3
+    assert blocks[0].successors == []
+
+
+def test_if_else_diamond_reconverges_at_join():
+    k = _kernel("""
+    SETP.LT r1, r0, #4
+@r1 BRA low
+    MOV r2, #2
+    BRA join
+low:
+    MOV r2, #1
+join:
+    MOV r3, #0
+    EXIT
+""")
+    table = reconvergence_table(k.instrs)
+    # The conditional branch is at pc 1; join label is at pc 5.
+    assert table == {1: 5}
+    assert k.instrs[1].reconv_pc == 5
+
+
+def test_if_without_else():
+    k = _kernel("""
+    SETP.LT r1, r0, #4
+@r1 BRA skip
+    MOV r2, #2
+skip:
+    EXIT
+""")
+    assert reconvergence_table(k.instrs) == {1: 3}
+
+
+def test_loop_backedge_reconverges_at_fallthrough():
+    k = _kernel("""
+top:
+    IADD r0, r0, #1
+    SETP.LT r1, r0, #4
+@r1 BRA top
+    EXIT
+""")
+    table = reconvergence_table(k.instrs)
+    # Loop branch at pc 2: paths rejoin at the loop exit (pc 3).
+    assert table == {2: 3}
+
+
+def test_divergent_exit_paths_use_exit_sentinel():
+    k = _kernel("""
+    SETP.LT r1, r0, #4
+@r1 BRA other
+    EXIT
+other:
+    EXIT
+""")
+    assert reconvergence_table(k.instrs) == {1: EXIT_PC}
+
+
+def test_nested_if_reconvergence_order():
+    k = _kernel("""
+    SETP.LT r1, r0, #8
+@r1 BRA inner
+    MOV r2, #0
+    BRA join
+inner:
+    SETP.LT r3, r0, #4
+@r3 BRA deep
+    MOV r2, #1
+    BRA ijoin
+deep:
+    MOV r2, #2
+ijoin:
+    MOV r4, #0
+join:
+    EXIT
+""")
+    table = reconvergence_table(k.instrs)
+    outer_rpc = table[1]
+    inner_rpc = table[5]
+    assert inner_rpc < outer_rpc  # inner joins before outer
+    assert k.instrs[outer_rpc].is_exit or outer_rpc == k.labels["join"]
+
+
+def test_unconditional_branch_not_in_table():
+    k = _kernel("""
+    BRA skip
+    MOV r0, #1
+skip:
+    EXIT
+""")
+    assert reconvergence_table(k.instrs) == {}
+
+
+def test_successors_structure():
+    k = _kernel("""
+    SETP.LT r1, r0, #4
+@r1 BRA a
+    BRA b
+a:
+    MOV r2, #1
+b:
+    EXIT
+""")
+    blocks = build_cfg(k.instrs)
+    by_start = {b.start: b for b in blocks}
+    cond_block = by_start[0]
+    assert len(cond_block.successors) == 2  # taken + fallthrough
+    uncond_block = by_start[2]
+    assert len(uncond_block.successors) == 1
+
+
+def test_blocks_cover_all_pcs():
+    k = _kernel("""
+top:
+    SETP.LT r1, r0, #4
+@r1 BRA top
+    MOV r2, #1
+    EXIT
+""")
+    blocks = build_cfg(k.instrs)
+    covered = sorted(pc for b in blocks for pc in range(b.start, b.end))
+    assert covered == list(range(len(k.instrs)))

@@ -1,0 +1,82 @@
+"""CLI commands (invoked in-process via repro.cli.main)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_list(capsys):
+    code, out, _err = run_cli(capsys, "list")
+    assert code == 0
+    assert "bfs" in out and "mm_tiled" in out
+    assert "scheduling" in out and "capacity" in out
+
+
+def test_run(capsys):
+    code, out, _err = run_cli(capsys, "run", "vecadd", "--scale", "0.25", "--sms", "1")
+    assert code == 0
+    assert "IPC" in out and "vecadd" in out
+
+
+def test_run_with_arch_and_scheduler(capsys):
+    code, out, _err = run_cli(capsys, "run", "stride", "--arch", "vt",
+                              "--scale", "0.25", "--sms", "1", "--scheduler", "lrr")
+    assert code == 0
+    assert "swaps" in out
+
+
+def test_compare(capsys):
+    code, out, _err = run_cli(capsys, "compare", "stride", "--scale", "0.5", "--sms", "1")
+    assert code == 0
+    for arch in ("baseline", "vt", "ideal-sched"):
+        assert arch in out
+    assert "speedup" in out
+
+
+def test_occupancy(capsys):
+    code, out, _err = run_cli(capsys, "occupancy", "stride")
+    assert code == 0
+    assert "unbounded" in out  # no shared memory
+    assert "headroom" in out
+
+
+def test_disasm(capsys):
+    code, out, _err = run_cli(capsys, "disasm", "vecadd")
+    assert code == 0
+    assert ".kernel vecadd" in out
+    assert "LDG" in out
+
+
+def test_profile(capsys):
+    code, out, _err = run_cli(capsys, "profile", "reduction")
+    assert code == 0
+    assert "barriers" in out and "arithmetic intensity" in out
+
+
+def test_experiment_static(capsys):
+    code, out, _err = run_cli(capsys, "experiment", "e11")
+    assert code == 0
+    assert "backup SRAM" in out
+
+
+def test_experiment_unknown(capsys):
+    code, _out, err = run_cli(capsys, "experiment", "E99")
+    assert code == 2
+    assert "unknown experiment" in err
+
+
+def test_unknown_benchmark(capsys):
+    code, _out, err = run_cli(capsys, "run", "nope", "--scale", "0.25")
+    assert code == 2
+    assert "unknown benchmark" in err
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,115 @@
+"""Experiment entry points: reports render and shape claims hold.
+
+The heavy experiments run at a small scale here — the full-scale runs live
+in ``benchmarks/``.  These tests assert the *shape* DESIGN.md promises:
+scheduling-limited kernels have VT headroom, VT speeds up the latency
+class, capacity-limited kernels are untouched, extreme swap costs hurt.
+"""
+
+import pytest
+
+from repro.analysis import experiments as ex
+from repro.core.occupancy import LimiterClass
+from repro.sim.config import scaled_fermi
+
+# One SM keeps runs fast while the half-scale grids still oversubscribe it
+# (a 2-SM chip at quarter scale would leave each SM under its CTA limit,
+# making VT trivially inert).
+ONE_SM = scaled_fermi(num_sms=1)
+
+
+def test_e1_renders():
+    report, data = ex.e1_config_table()
+    assert "scheduling limit" in report
+    assert data["config"].max_warps_per_sm == 48
+
+
+def test_e2_classifies_suite():
+    report, data = ex.e2_benchmark_table()
+    assert "limiter" in report
+    assert data["mm_tiled"].limiter is LimiterClass.CAPACITY
+    assert data["stride"].limiter is LimiterClass.SCHEDULING
+
+
+def test_e3_headroom_positive_for_scheduling_limited():
+    report, headroom = ex.e3_cta_residency()
+    assert headroom["stride"] > 2.0
+    assert headroom["regheavy"] == 1.0
+    assert "capacity" in report
+
+
+@pytest.mark.slow
+def test_e4_idle_breakdown_small_scale():
+    report, data = ex.e4_idle_cycles(cfg=ONE_SM, scale=0.5)
+    assert set(data) and all(0 <= d["mem"] <= 1 for d in data.values())
+    # The latency microbenchmark idles on memory in the baseline.
+    assert data["stride"]["mem"] > 0.2
+    assert "busy" in report
+
+
+@pytest.mark.slow
+def test_e5_shape_small_scale():
+    report, data = ex.e5_speedup(cfg=ONE_SM, scale=0.5)
+    assert data["geomean_vt"] > 1.02
+    assert data["vt"]["stride"] > 1.2
+    assert data["vt"]["mm_tiled"] == pytest.approx(1.0)
+    assert data["vt"]["regheavy"] == pytest.approx(1.0)
+    assert "geomean" in report
+
+
+@pytest.mark.slow
+def test_e7_extreme_swap_cost_hurts():
+    points = ((2, 1), (128, 64))
+    report, data = ex.e7_swap_latency(cfg=ONE_SM, scale=0.5, points=points, subset=("stride",))
+    cheap = data[(2, 1)]["geomean"]
+    expensive = data[(128, 64)]["geomean"]
+    assert cheap > expensive
+    assert "swap" in report.lower()
+
+
+@pytest.mark.slow
+def test_e8_multiplier_one_is_baseline():
+    report, data = ex.e8_vcta_degree(cfg=ONE_SM, scale=0.5, multipliers=(1.0, 4.0), subset=("stride",))
+    assert data[1.0]["geomean"] == pytest.approx(1.0, abs=0.02)
+    assert data[4.0]["geomean"] > data[1.0]["geomean"]
+
+
+@pytest.mark.slow
+def test_e10_gain_grows_with_latency():
+    report, data = ex.e10_mem_latency(cfg=ONE_SM, scale=0.5, latencies=(200, 800), subset=("stride",))
+    assert data[800]["geomean"] > data[200]["geomean"]
+
+
+@pytest.mark.slow
+def test_e6_tlp_small_scale():
+    report, data = ex.e6_tlp(cfg=ONE_SM, scale=0.5)
+    assert data["stride"]["vt_warps"] > data["stride"]["base_warps"]
+    assert data["stride"]["vt_active_ctas"] <= 8 + 1e-9
+    assert "warps/SM" in report
+
+
+@pytest.mark.slow
+def test_e9_schedulers_small_scale():
+    report, data = ex.e9_schedulers(cfg=ONE_SM, scale=0.5,
+                                    schedulers=("gto", "lrr"), subset=("stride",))
+    assert data["gto"]["geomean"] > 1.1
+    assert data["lrr"]["geomean"] > 1.1
+
+
+@pytest.mark.slow
+def test_e12_ablation_small_scale():
+    report, data = ex.e12_ablation(cfg=ONE_SM, scale=0.5, subset=("stride",))
+    for label, row in data.items():
+        assert row["geomean"] > 1.0, label
+    assert "policy" in report
+
+
+def test_e11_overhead_report():
+    report, data = ex.e11_overhead()
+    assert "backup SRAM" in report
+    assert data["overhead"].overhead_fraction < 0.25
+
+
+def test_registry_complete():
+    expected = {f"E{i}" for i in range(1, 13)} | {"X1", "X2", "X3"}
+    assert set(ex.ALL_EXPERIMENTS) == expected

@@ -1,0 +1,76 @@
+"""Instruction/operand representation."""
+
+import pytest
+
+from repro.isa.instruction import Imm, Instruction, MemRef, Reg, SReg, SpecialReg
+from repro.isa.opcodes import CmpOp, Op
+
+
+def test_src_regs_collects_regs_memrefs_and_pred():
+    instr = Instruction(
+        op=Op.IMAD,
+        dst=Reg(5),
+        srcs=(Reg(1), Imm(3), Reg(2)),
+        pred=Reg(7),
+    )
+    assert sorted(instr.src_regs()) == [1, 2, 7]
+    assert instr.dst_reg() == 5
+    assert instr.max_reg() == 7
+
+
+def test_memref_base_counts_as_source():
+    instr = Instruction(op=Op.LDG, dst=Reg(0), srcs=(MemRef(Reg(9), 4),))
+    assert instr.src_regs() == [9]
+    assert instr.is_load
+    assert instr.is_global_mem
+    assert not instr.is_store
+
+
+def test_store_classification():
+    instr = Instruction(op=Op.STG, srcs=(MemRef(Reg(1)), Reg(2)))
+    assert instr.is_store
+    assert not instr.is_load
+    assert sorted(instr.src_regs()) == [1, 2]
+
+
+def test_shared_classification():
+    instr = Instruction(op=Op.LDS, dst=Reg(0), srcs=(MemRef(Reg(1)),))
+    assert instr.is_shared_mem
+    assert not instr.is_global_mem
+
+
+def test_branch_properties():
+    uncond = Instruction(op=Op.BRA, target=3)
+    cond = Instruction(op=Op.BRA, target=3, pred=Reg(1))
+    assert uncond.is_branch and not uncond.is_conditional_branch
+    assert cond.is_conditional_branch
+
+
+def test_max_reg_empty():
+    assert Instruction(op=Op.NOP).max_reg() == -1
+
+
+def test_repr_contains_operands():
+    instr = Instruction(op=Op.SETP, dst=Reg(3), srcs=(Reg(1), Imm(7)), cmp=CmpOp.LT, pred=Reg(2), pred_neg=True)
+    text = repr(instr)
+    assert "SETP.LT" in text
+    assert "@!r2" in text
+    assert "r3" in text and "r1" in text
+
+
+def test_operand_reprs():
+    assert repr(Reg(4)) == "r4"
+    assert repr(Imm(2)) == "#2"
+    assert repr(SReg(SpecialReg.TID_X)) == "%tid_x"
+    assert repr(MemRef(Reg(2), 8)) == "[r2+8]"
+    assert repr(MemRef(Reg(2))) == "[r2]"
+
+
+def test_barrier_and_exit_flags():
+    assert Instruction(op=Op.BAR).is_barrier
+    assert Instruction(op=Op.EXIT).is_exit
+
+
+@pytest.mark.parametrize("kind", list(SpecialReg))
+def test_special_registers_roundtrip(kind):
+    assert SpecialReg(kind.value) is kind

@@ -1,0 +1,272 @@
+"""Domain-specific semantic properties of the benchmark kernels.
+
+Beyond the generic reference check in test_kernels.py, each kernel has
+structural invariants a correct port must satisfy (histogram mass
+conservation, transpose involution, BFS idempotence, ...).  These catch
+bugs a single lucky reference match could mask.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import get
+from repro.sim.config import scaled_fermi
+from repro.sim.gpu import GPU
+from repro.sim.memory import GlobalMemory
+
+CFG = scaled_fermi(num_sms=1)
+SCALE = 0.25
+
+
+def run(name, scale=SCALE, arch="baseline"):
+    bench = get(name)
+    prep = bench.prepare(scale)
+    gpu = GPU(CFG.with_(arch=arch))
+    result = gpu.launch(bench.kernel, prep.grid_dim, prep.gmem, prep.params)
+    return prep, result
+
+
+def test_histogram_conserves_mass():
+    prep, result = run("histogram")
+    bins = result.read("hist")
+    data = result.read("data")
+    assert bins.sum() == len(data)
+    assert (bins >= 0).all()
+
+
+def test_transpose_involution():
+    # Transposing the transpose must restore the original matrix.
+    bench = get("transpose")
+    prep = bench.prepare(SCALE)
+    gpu = GPU(CFG)
+    first = gpu.launch(bench.kernel, prep.grid_dim, prep.gmem, prep.params)
+    out = first.read("out")
+    side = int(np.sqrt(len(out)))
+
+    gmem = GlobalMemory(1 << 23)
+    gmem.alloc("in", side * side)
+    gmem.alloc("out", side * side)
+    gmem.write("in", out)
+    second = gpu.launch(bench.kernel, prep.grid_dim, gmem,
+                        params=(gmem.base("in"), gmem.base("out"), side))
+    original = first.gmem.read("in", side * side)
+    assert np.array_equal(second.read("out"), original)
+
+
+def test_bfs_expansion_is_idempotent():
+    # Running the same level expansion twice changes nothing more.
+    bench = get("bfs")
+    prep = bench.prepare(SCALE)
+    gpu = GPU(CFG)
+    first = gpu.launch(bench.kernel, prep.grid_dim, prep.gmem, prep.params)
+    after_one = first.read("level").copy()
+    second = gpu.launch(bench.kernel, prep.grid_dim, first.gmem, prep.params)
+    assert np.array_equal(second.read("level"), after_one)
+
+
+def test_bfs_levels_monotone():
+    from repro.kernels.bfs import CURRENT_LEVEL
+
+    prep, result = run("bfs")
+    levels = result.read("level")
+    finite = levels[levels < 1_000_000]
+    assert finite.min() >= 0
+    # Expanding level L can only produce levels <= L + 1.
+    assert finite.max() <= CURRENT_LEVEL + 1
+
+
+def test_reduction_partials_positive_and_bounded():
+    prep, result = run("reduction")
+    partials = result.read("partial")
+    # Sum of 256 uniform [0,1) values per CTA.
+    assert (partials > 0).all()
+    assert (partials < 256).all()
+
+
+def test_kmeans_assignments_in_range():
+    prep, result = run("kmeans")
+    assign = result.read("assign")
+    assert (assign >= 0).all()
+    assert (assign < 5).all()
+    assert (assign == np.floor(assign)).all()
+
+
+def test_streamcluster_never_worsens_cost():
+    bench = get("streamcluster")
+    prep = bench.prepare(SCALE)
+    before = prep.gmem.read("cost").copy()
+    gpu = GPU(CFG)
+    result = gpu.launch(bench.kernel, prep.grid_dim, prep.gmem, prep.params)
+    after = result.read("cost")
+    assert (after <= before + 1e-12).all()
+
+
+def test_nn_distances_nonnegative():
+    prep, result = run("nn")
+    assert (result.read("dist") >= 0).all()
+
+
+def test_mm_tiled_identity():
+    # A @ I == A through the real kernel.
+    bench = get("mm_tiled")
+    from repro.kernels.mm_tiled import K_DIM, TILE
+
+    tiles = 2
+    m = n = TILE * tiles
+    k = K_DIM
+    rng = np.random.default_rng(5)
+    a = rng.random((m, k))
+    identity_padded = np.zeros((k, n))
+    np.fill_diagonal(identity_padded, 1.0)
+
+    gmem = GlobalMemory(1 << 23)
+    gmem.alloc("a", m * k)
+    gmem.alloc("b", k * n)
+    gmem.alloc("c", m * n)
+    gmem.write("a", a)
+    gmem.write("b", identity_padded)
+    gpu = GPU(CFG)
+    result = gpu.launch(bench.kernel, (tiles, tiles, 1), gmem,
+                        params=(gmem.base("a"), gmem.base("b"), gmem.base("c"),
+                                k, n, k // TILE))
+    got = result.read("c").reshape(m, n)
+    assert np.allclose(got, a @ identity_padded)
+
+
+def test_pathfinder_zero_wall_is_zero():
+    bench = get("pathfinder")
+    from repro.kernels.pathfinder import CTA_THREADS, STEPS
+
+    grid = 2
+    width = CTA_THREADS * grid
+    gmem = GlobalMemory(1 << 23)
+    gmem.alloc("wall", (STEPS + 1) * width)
+    gmem.alloc("out", width)
+    gpu = GPU(CFG)
+    result = gpu.launch(bench.kernel, (grid, 1, 1), gmem,
+                        params=(gmem.base("wall"), gmem.base("out"), width, STEPS))
+    assert (result.read("out") == 0).all()
+
+
+def test_srad_preserves_constant_field():
+    # Laplacian of a constant field is zero -> output equals input.
+    bench = get("srad")
+    from repro.kernels.srad import CTA_Y, WIDTH
+
+    rows = 2
+    height = CTA_Y * rows
+    gmem = GlobalMemory(1 << 23)
+    gmem.alloc("in", height * WIDTH)
+    gmem.alloc("out", height * WIDTH)
+    gmem.write("in", np.full(height * WIDTH, 0.7))
+    gpu = GPU(CFG)
+    result = gpu.launch(bench.kernel, (WIDTH // 32, rows, 1), gmem,
+                        params=(gmem.base("in"), gmem.base("out"), WIDTH, height))
+    assert np.allclose(result.read("out"), 0.7)
+
+
+def test_hotspot_weighted_mean_bounds():
+    prep, result = run("hotspot")
+    out = result.read("out")
+    field = result.read("in")
+    # Output is a convex-ish combination of [0,1) inputs with weight sum 1.
+    assert out.min() >= 0
+    assert out.max() <= 1.0 + 1e-9
+    assert not np.array_equal(out, field)
+
+
+def test_stride_accumulates_iters_values():
+    prep, result = run("stride")
+    from repro.kernels.stride import ITERS
+
+    out = result.read("out")
+    # Sum of ITERS uniform [0,1) values.
+    assert (out > 0).all()
+    assert (out < ITERS).all()
+
+
+def test_spmv_zero_vector_gives_zero():
+    bench = get("spmv")
+    prep = bench.prepare(SCALE)
+    prep.gmem.write("x", np.zeros(len(prep.gmem.read("x"))))
+    gpu = GPU(CFG)
+    result = gpu.launch(bench.kernel, prep.grid_dim, prep.gmem, prep.params)
+    assert (result.read("y") == 0).all()
+
+
+def test_backprop_outputs_are_sigmoid_range():
+    prep, result = run("backprop")
+    out = result.read("out")
+    assert (out > 0).all()
+    assert (out < 1).all()
+
+
+def test_btree_results_are_valid_insertion_points():
+    prep, result = run("btree")
+    found = result.read("result")
+    keys = result.read("keys")
+    queries = result.read("queries")
+    n = len(found)
+    for i in range(0, n, 37):  # spot-check a sample
+        idx = int(found[i])
+        assert 0 <= idx <= len(keys)
+        if idx > 0:
+            assert keys[idx - 1] <= queries[i]
+        if idx < len(keys):
+            assert keys[idx] > queries[i]
+
+
+def test_scan_is_monotone_for_positive_inputs():
+    prep, result = run("scan")
+    from repro.kernels.scan import CTA_THREADS
+
+    out = result.read("out").reshape(-1, CTA_THREADS)
+    assert (np.diff(out, axis=1) >= 0).all()
+    # First element of each block is the raw input.
+    data = result.read("in").reshape(-1, CTA_THREADS)
+    assert np.allclose(out[:, 0], data[:, 0])
+
+
+def test_nw_zero_similarity_gives_gap_staircase():
+    # With similarity 0 everywhere, F[i][j] = -gap * max(i, j) ... actually
+    # the optimum alignment of cost 0 matches along the diagonal, so
+    # F[i][j] = -gap * |i - j|.
+    bench = get("nw")
+    from repro.kernels.nw import BLOCK, GAP
+
+    grid = 2
+    gmem = GlobalMemory(1 << 23)
+    gmem.alloc("ref", grid * BLOCK * BLOCK)
+    gmem.alloc("out", grid * BLOCK * BLOCK)
+    gpu = GPU(CFG)
+    result = gpu.launch(bench.kernel, (grid, 1, 1), gmem,
+                        params=(gmem.base("ref"), gmem.base("out")))
+    out = result.read("out").reshape(grid, BLOCK, BLOCK)
+    i = np.arange(1, BLOCK + 1)[:, None]
+    j = np.arange(1, BLOCK + 1)[None, :]
+    expected = -GAP * np.abs(i - j).astype(np.float64)
+    for b in range(grid):
+        assert np.allclose(out[b], expected)
+
+
+def test_mriq_zero_input_gives_zero():
+    bench = get("mriq")
+    prep = bench.prepare(SCALE)
+    prep.gmem.write("x", np.zeros(len(prep.gmem.read("x"))))
+    gpu = GPU(CFG)
+    result = gpu.launch(bench.kernel, prep.grid_dim, prep.gmem, prep.params)
+    assert np.allclose(result.read("out"), 0.0)
+
+
+def test_vecadd_commutes():
+    bench = get("vecadd")
+    prep = bench.prepare(SCALE)
+    a = prep.gmem.read("a").copy()
+    b = prep.gmem.read("b").copy()
+    gpu = GPU(CFG)
+    r1 = gpu.launch(bench.kernel, prep.grid_dim, prep.gmem, prep.params)
+    swapped = bench.prepare(SCALE)
+    swapped.gmem.write("a", b)
+    swapped.gmem.write("b", a)
+    r2 = gpu.launch(bench.kernel, swapped.grid_dim, swapped.gmem, swapped.params)
+    assert np.array_equal(r1.read("c"), r2.read("c"))

@@ -1,0 +1,97 @@
+"""Benchmark library: every kernel runs and matches its numpy reference."""
+
+import pytest
+
+from repro.core.occupancy import LimiterClass, occupancy
+from repro.kernels import all_benchmarks, by_category, get
+from repro.kernels.base import CATEGORIES
+from repro.sim.config import scaled_fermi
+from repro.sim.gpu import GPU
+
+BENCHES = all_benchmarks()
+SMALL_SCALE = 0.25
+
+
+def test_registry_names_unique():
+    names = [b.name for b in BENCHES]
+    assert len(names) == len(set(names))
+    assert len(names) >= 15
+
+
+def test_get_and_unknown():
+    assert get("bfs").name == "bfs"
+    with pytest.raises(KeyError, match="unknown benchmark"):
+        get("nope")
+
+
+def test_by_category_partition():
+    total = sum(len(by_category(c)) for c in CATEGORIES)
+    assert total == len(BENCHES)
+    assert by_category("streaming")
+
+
+@pytest.mark.parametrize("bench", BENCHES, ids=lambda b: b.name)
+def test_benchmark_correct_on_baseline(bench):
+    prep = bench.prepare(SMALL_SCALE)
+    gpu = GPU(scaled_fermi(num_sms=1, arch="baseline"))
+    result = gpu.launch(bench.kernel, prep.grid_dim, prep.gmem, prep.params)
+    prep.check(result)  # raises CheckFailure on mismatch
+
+
+@pytest.mark.parametrize("bench", BENCHES, ids=lambda b: b.name)
+def test_benchmark_correct_on_vt(bench):
+    prep = bench.prepare(SMALL_SCALE)
+    gpu = GPU(scaled_fermi(num_sms=1, arch="vt"))
+    result = gpu.launch(bench.kernel, prep.grid_dim, prep.gmem, prep.params)
+    prep.check(result)
+
+
+@pytest.mark.parametrize("bench", BENCHES, ids=lambda b: b.name)
+def test_kernel_fits_one_sm(bench):
+    occ = occupancy(bench.kernel, scaled_fermi(1))
+    assert occ.baseline_ctas >= 1
+
+
+def test_expected_limiter_classes():
+    expectations = {
+        "bfs": LimiterClass.SCHEDULING,
+        "stride": LimiterClass.SCHEDULING,
+        "hotspot": LimiterClass.SCHEDULING,
+        "reduction": LimiterClass.SCHEDULING,
+        "mm_tiled": LimiterClass.CAPACITY,
+        "regheavy": LimiterClass.CAPACITY,
+        "backprop": LimiterClass.BALANCED,
+        "nw": LimiterClass.CAPACITY,
+        "btree": LimiterClass.SCHEDULING,
+    }
+    for name, expected in expectations.items():
+        assert occupancy(get(name).kernel).limiter is expected, name
+
+
+def test_scale_grows_grid():
+    small = get("vecadd").prepare(0.25)
+    large = get("vecadd").prepare(1.0)
+    assert large.grid_dim[0] > small.grid_dim[0]
+
+
+def test_prepare_is_deterministic():
+    a = get("bfs").prepare(SMALL_SCALE)
+    b = get("bfs").prepare(SMALL_SCALE)
+    assert (a.gmem.data == b.gmem.data).all()
+    assert a.params == b.params
+
+
+def test_suite_mixes_limiters():
+    limiters = {occupancy(b.kernel).limiter for b in BENCHES}
+    assert LimiterClass.SCHEDULING in limiters
+    assert LimiterClass.CAPACITY in limiters
+
+
+def test_check_rejects_corrupted_output():
+    bench = get("vecadd")
+    prep = bench.prepare(SMALL_SCALE)
+    gpu = GPU(scaled_fermi(num_sms=1))
+    result = gpu.launch(bench.kernel, prep.grid_dim, prep.gmem, prep.params)
+    result.gmem.write("c", [12345.0])  # corrupt one element
+    with pytest.raises(AssertionError, match="mismatch"):
+        prep.check(result)

@@ -1,0 +1,62 @@
+"""Coalescer and shared-memory bank-conflict analysis."""
+
+import numpy as np
+
+from repro.sim.ldst import bank_conflict_passes, coalesce
+
+
+def addrs(*values):
+    return np.array(values, dtype=np.int64)
+
+
+def test_fully_coalesced_warp_one_transaction():
+    warp_addrs = np.arange(32, dtype=np.int64) * 4  # consecutive words
+    assert coalesce(warp_addrs, 128) == [0]
+
+
+def test_two_segment_access():
+    warp_addrs = np.arange(32, dtype=np.int64) * 4 + 64  # straddles a line
+    assert coalesce(warp_addrs, 128) == [0, 128]
+
+
+def test_strided_access_fans_out():
+    warp_addrs = np.arange(32, dtype=np.int64) * 128
+    assert len(coalesce(warp_addrs, 128)) == 32
+
+
+def test_same_address_collapses():
+    assert coalesce(addrs(4, 4, 4, 4), 128) == [0]
+
+
+def test_unaligned_bases_align_to_segments():
+    assert coalesce(addrs(120, 132), 128) == [0, 128]
+
+
+def test_empty_access():
+    assert coalesce(np.array([], dtype=np.int64), 128) == []
+    assert bank_conflict_passes(np.array([], dtype=np.int64), 32) == 1
+
+
+def test_conflict_free_row():
+    warp_addrs = np.arange(32, dtype=np.int64) * 4  # one word per bank
+    assert bank_conflict_passes(warp_addrs, 32) == 1
+
+
+def test_broadcast_same_word_is_one_pass():
+    assert bank_conflict_passes(addrs(0, 0, 0, 0), 32) == 1
+
+
+def test_stride_32_words_full_conflict():
+    warp_addrs = np.arange(32, dtype=np.int64) * 32 * 4  # all bank 0
+    assert bank_conflict_passes(warp_addrs, 32) == 32
+
+
+def test_stride_two_words_two_way_conflict():
+    warp_addrs = np.arange(32, dtype=np.int64) * 2 * 4
+    assert bank_conflict_passes(warp_addrs, 32) == 2
+
+
+def test_padded_transpose_stride_is_conflict_free():
+    # Stride 33 words (the padded shared-memory trick) hits distinct banks.
+    warp_addrs = np.arange(32, dtype=np.int64) * 33 * 4
+    assert bank_conflict_passes(warp_addrs, 32) == 1

@@ -1,0 +1,113 @@
+"""GlobalMemory / SharedMemory: allocation, access, errors, atomics."""
+
+import numpy as np
+import pytest
+
+from repro.sim.memory import GlobalMemory, MemoryError_, SharedMemory
+
+
+def test_alloc_returns_line_aligned_bases():
+    g = GlobalMemory(1 << 16, line_bytes=128)
+    a = g.alloc("a", 10)
+    b = g.alloc("b", 10)
+    assert a % 128 == 0
+    assert b % 128 == 0
+    assert b >= a + 40
+
+
+def test_write_read_roundtrip():
+    g = GlobalMemory(1 << 16)
+    g.alloc("x", 8)
+    g.write("x", np.arange(8))
+    assert list(g.read("x")) == list(range(8))
+    assert list(g.read("x", 3)) == [0, 1, 2]
+
+
+def test_duplicate_alloc_rejected():
+    g = GlobalMemory(1 << 16)
+    g.alloc("x", 8)
+    with pytest.raises(ValueError, match="already"):
+        g.alloc("x", 8)
+
+
+def test_exhaustion_rejected():
+    g = GlobalMemory(256)
+    with pytest.raises(MemoryError_, match="exhausted"):
+        g.alloc("big", 1000)
+
+
+def test_write_overflow_rejected():
+    g = GlobalMemory(1 << 16)
+    g.alloc("x", 4)
+    with pytest.raises(MemoryError_, match="overflow"):
+        g.write("x", np.arange(10))
+
+
+def test_device_load_store():
+    g = GlobalMemory(1 << 12)
+    addrs = np.array([0, 4, 8], dtype=np.int64)
+    g.store(addrs, np.array([1.0, 2.0, 3.0]))
+    assert list(g.load(addrs)) == [1.0, 2.0, 3.0]
+
+
+def test_misaligned_access_rejected():
+    g = GlobalMemory(1 << 12)
+    with pytest.raises(MemoryError_, match="misaligned"):
+        g.load(np.array([2], dtype=np.int64))
+
+
+def test_out_of_bounds_rejected():
+    g = GlobalMemory(256)
+    with pytest.raises(MemoryError_, match="out of bounds"):
+        g.load(np.array([1 << 20], dtype=np.int64))
+    with pytest.raises(MemoryError_, match="out of bounds"):
+        g.load(np.array([-4], dtype=np.int64))
+
+
+def test_store_conflict_last_lane_wins():
+    g = GlobalMemory(1 << 12)
+    addrs = np.array([0, 0, 0], dtype=np.int64)
+    g.store(addrs, np.array([1.0, 2.0, 3.0]))
+    assert g.data[0] == 3.0
+
+
+def test_atomic_add_returns_old_values():
+    g = GlobalMemory(1 << 12)
+    addrs = np.zeros(4, dtype=np.int64)
+    old = g.atomic_add(addrs, np.ones(4))
+    assert list(old) == [0, 1, 2, 3]
+    assert g.data[0] == 4
+
+
+def test_atomic_max_semantics():
+    g = GlobalMemory(1 << 12)
+    g.data[0] = 5
+    old = g.atomic_max(np.zeros(3, dtype=np.int64), np.array([3.0, 9.0, 7.0]))
+    assert list(old) == [5, 5, 9]
+    assert g.data[0] == 9
+
+
+def test_shared_memory_bounds():
+    s = SharedMemory(64)
+    s.store(np.array([60], dtype=np.int64), np.array([1.0]))
+    with pytest.raises(MemoryError_, match="out of bounds"):
+        s.load(np.array([64], dtype=np.int64))
+
+
+def test_shared_memory_atomic_add():
+    s = SharedMemory(64)
+    old = s.atomic_add(np.zeros(2, dtype=np.int64), np.array([2.0, 3.0]))
+    assert list(old) == [0, 2]
+    assert s.data[0] == 5
+
+
+def test_zero_sized_shared_memory_allowed():
+    s = SharedMemory(0)
+    with pytest.raises(MemoryError_):
+        s.load(np.array([0], dtype=np.int64))
+
+
+def test_base_lookup():
+    g = GlobalMemory(1 << 12)
+    base = g.alloc("buf", 4)
+    assert g.base("buf") == base

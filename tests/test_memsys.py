@@ -1,0 +1,94 @@
+"""DRAM, interconnect, and the composed chip-level memory model."""
+
+from repro.sim.config import GPUConfig
+from repro.sim.dram import DramModel
+from repro.sim.icnt import Link
+from repro.sim.memsys import MemoryModel
+
+
+def cfg(**over):
+    return GPUConfig().with_(**over)
+
+
+# -- DRAM -------------------------------------------------------------------
+
+def test_dram_latency_unloaded():
+    d = DramModel(cfg(dram_channels=2, dram_latency=400, dram_service_cycles=8))
+    assert d.access(0, earliest=0) == 400
+
+
+def test_dram_queueing_same_channel():
+    c = cfg(dram_channels=2, dram_latency=400, dram_service_cycles=8)
+    d = DramModel(c)
+    first = d.access(0, earliest=0)
+    # Same channel (line 0 and line 2*128 both map to channel 0 of 2).
+    second = d.access(2 * 128, earliest=0)
+    assert second == first + 8  # queued behind the first transfer
+
+
+def test_dram_channels_independent():
+    c = cfg(dram_channels=2, dram_latency=400, dram_service_cycles=8)
+    d = DramModel(c)
+    first = d.access(0, earliest=0)
+    other_channel = d.access(128, earliest=0)
+    assert other_channel == first  # no queueing across channels
+
+
+def test_dram_utilization():
+    c = cfg(dram_channels=1, dram_latency=10, dram_service_cycles=4)
+    d = DramModel(c)
+    d.access(0, 0)
+    d.access(0, 0)
+    assert d.requests == 2
+    assert d.utilization(total_cycles=16) == 0.5
+
+
+# -- interconnect ------------------------------------------------------------
+
+def test_link_latency():
+    link = Link(latency=24, service_cycles=1)
+    assert link.traverse(0) == 24
+
+
+def test_link_serializes():
+    link = Link(latency=24, service_cycles=2)
+    assert link.traverse(0) == 24
+    assert link.traverse(0) == 26  # injected 2 cycles later
+    assert link.packets == 2
+
+
+# -- composed model ----------------------------------------------------------
+
+def test_memsys_l2_hit_path_faster_than_miss():
+    c = cfg()
+    m = MemoryModel(c)
+    miss = m.read(0, now=0)
+    # Wait until the L2 fill landed, then re-read: must be an L2 hit.
+    hit = m.read(0, now=miss + 10)
+    assert hit - (miss + 10) < miss
+    assert m.l2_hits == 1
+    assert m.dram_requests == 1
+
+
+def test_memsys_l2_pending_merge():
+    c = cfg()
+    m = MemoryModel(c)
+    first = m.read(0, now=0)
+    merged = m.read(0, now=1)
+    assert m.dram_requests == 1  # merged at the L2 MSHRs
+    assert merged >= first - 2  # rides the same fill (+response queueing)
+
+
+def test_memsys_write_counts_as_l2_access():
+    c = cfg()
+    m = MemoryModel(c)
+    m.write(0, now=0)
+    assert m.l2_accesses == 1
+
+
+def test_memsys_latency_composition_lower_bound():
+    c = cfg()
+    m = MemoryModel(c)
+    completion = m.read(0, now=0)
+    floor = 2 * c.icnt_latency + c.l2_hit_latency + c.dram_latency
+    assert completion >= floor

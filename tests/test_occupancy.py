@@ -1,0 +1,90 @@
+"""Occupancy calculator and limiter classification."""
+
+import pytest
+
+from repro.core.occupancy import LimiterClass, occupancy
+from repro.isa.kernel import KernelBuilder
+from repro.sim.config import GPUConfig
+
+
+def kernel(regs=16, smem=0, threads=128, name="k"):
+    b = KernelBuilder(name, regs_per_thread=regs, smem_bytes=smem, cta_dim=(threads, 1, 1))
+    b.exit()
+    return b.build()
+
+
+def test_cta_slot_limited_kernel():
+    # 64-thread, low-register kernel: CTA slots (8) bind first.
+    occ = occupancy(kernel(regs=16, threads=64), GPUConfig())
+    assert occ.ctas_by_cta_slots == 8
+    assert occ.ctas_by_warp_slots == 24
+    assert occ.ctas_by_registers == 32
+    assert occ.baseline_ctas == 8
+    assert occ.limiter is LimiterClass.SCHEDULING
+    assert occ.binding_resource == "cta-slots"
+
+
+def test_register_limited_kernel():
+    occ = occupancy(kernel(regs=40, threads=256), GPUConfig())
+    assert occ.ctas_by_registers == 3
+    assert occ.limiter is LimiterClass.CAPACITY
+    assert occ.binding_resource == "registers"
+    assert occ.vt_headroom == 1.0  # no VT opportunity
+
+
+def test_smem_limited_kernel():
+    occ = occupancy(kernel(regs=8, smem=16384, threads=64), GPUConfig())
+    assert occ.ctas_by_smem == 3
+    assert occ.limiter is LimiterClass.CAPACITY
+    assert occ.binding_resource == "shared-mem"
+
+
+def test_warp_slot_limited_kernel():
+    occ = occupancy(kernel(regs=8, threads=512), GPUConfig())
+    assert occ.ctas_by_warp_slots == 3
+    assert occ.ctas_by_thread_slots == 3
+    assert occ.scheduling_limit_ctas == 3
+
+
+def test_balanced_kernel():
+    # 256 threads, 20 regs, 1 KiB smem: scheduling (6) == capacity (6).
+    occ = occupancy(kernel(regs=20, smem=8192, threads=256), GPUConfig())
+    assert occ.scheduling_limit_ctas == occ.capacity_limit_ctas == 6
+    assert occ.limiter is LimiterClass.BALANCED
+
+
+def test_no_smem_is_unbounded():
+    occ = occupancy(kernel(smem=0), GPUConfig())
+    assert occ.ctas_by_smem >= 10**9
+
+
+def test_vt_headroom_ratio():
+    occ = occupancy(kernel(regs=16, threads=64), GPUConfig())
+    assert occ.vt_headroom == pytest.approx(32 / 8)
+
+
+def test_occupancy_fraction():
+    occ = occupancy(kernel(regs=16, threads=64), GPUConfig())
+    # 8 CTAs x 2 warps / 48 slots.
+    assert occ.occupancy_fraction(GPUConfig()) == pytest.approx(16 / 48)
+
+
+def test_respects_custom_config():
+    cfg = GPUConfig().with_(max_ctas_per_sm=16)
+    occ = occupancy(kernel(regs=16, threads=64), cfg)
+    assert occ.ctas_by_cta_slots == 16
+    assert occ.baseline_ctas == 16
+
+
+def test_baseline_never_exceeds_any_constraint():
+    cfg = GPUConfig()
+    for regs in (8, 21, 40):
+        for threads in (32, 64, 128, 256, 512):
+            for smem in (0, 1024, 12288):
+                occ = occupancy(kernel(regs=regs, smem=smem, threads=threads), cfg)
+                n = occ.baseline_ctas
+                assert n <= cfg.max_ctas_per_sm
+                assert n * occ.warps_per_cta <= cfg.max_warps_per_sm
+                assert n * threads <= cfg.max_threads_per_sm
+                assert n * regs * threads <= cfg.registers_per_sm
+                assert n * smem <= cfg.smem_per_sm

@@ -1,0 +1,62 @@
+"""Opcode metadata-table integrity."""
+
+import pytest
+
+from repro.isa.opcodes import Op, OpClass, OPCODE_INFO
+
+
+def test_every_opcode_has_info():
+    assert set(OPCODE_INFO) == set(Op)
+
+
+@pytest.mark.parametrize("op", list(Op))
+def test_info_shape(op):
+    info = OPCODE_INFO[op]
+    assert info.op is op
+    assert isinstance(info.op_class, OpClass)
+    assert 0 <= info.num_srcs <= 3
+
+
+def test_branch_flags():
+    assert OPCODE_INFO[Op.BRA].is_branch
+    assert not OPCODE_INFO[Op.BRA].has_dst
+    assert not any(OPCODE_INFO[op].is_branch for op in Op if op is not Op.BRA)
+
+
+def test_memory_classification():
+    global_ops = {Op.LDG, Op.STG, Op.ATOMG_ADD, Op.ATOMG_MAX}
+    shared_ops = {Op.LDS, Op.STS, Op.ATOMS_ADD}
+    for op in global_ops:
+        assert OPCODE_INFO[op].op_class is OpClass.MEM_GLOBAL
+        assert OPCODE_INFO[op].is_mem
+    for op in shared_ops:
+        assert OPCODE_INFO[op].op_class is OpClass.MEM_SHARED
+        assert OPCODE_INFO[op].is_mem
+    for op in Op:
+        if op not in global_ops | shared_ops:
+            assert not OPCODE_INFO[op].is_mem
+
+
+def test_store_and_atomic_flags():
+    assert OPCODE_INFO[Op.STG].is_store
+    assert OPCODE_INFO[Op.STS].is_store
+    assert not OPCODE_INFO[Op.LDG].is_store
+    for op in (Op.ATOMG_ADD, Op.ATOMS_ADD, Op.ATOMG_MAX):
+        assert OPCODE_INFO[op].is_atomic
+        assert OPCODE_INFO[op].has_dst  # atomics return the old value
+
+
+def test_three_source_ops():
+    for op in (Op.IMAD, Op.FFMA, Op.SEL):
+        assert OPCODE_INFO[op].num_srcs == 3
+
+
+def test_sfu_ops_use_sfu_class():
+    for op in (Op.IDIV, Op.IREM, Op.FDIV, Op.FSQRT, Op.FEXP):
+        assert OPCODE_INFO[op].op_class is OpClass.SFU
+
+
+def test_control_ops_have_no_dst():
+    for op in (Op.BRA, Op.BAR, Op.EXIT, Op.NOP):
+        assert OPCODE_INFO[op].op_class is OpClass.CTRL
+        assert not OPCODE_INFO[op].has_dst

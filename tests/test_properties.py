@@ -1,0 +1,138 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.geomean import geomean
+from repro.core.occupancy import occupancy
+from repro.isa.kernel import KernelBuilder
+from repro.sim.cache import SetAssocCache
+from repro.sim.config import GPUConfig
+from repro.sim.dram import DramModel
+from repro.sim.ldst import bank_conflict_passes, coalesce
+from repro.sim.warp import FULL_MASK, array_to_mask, mask_to_array
+
+masks = st.integers(min_value=0, max_value=FULL_MASK)
+addr_arrays = st.lists(
+    st.integers(min_value=0, max_value=1 << 20).map(lambda v: v * 4),
+    min_size=1, max_size=32,
+).map(lambda xs: np.array(xs, dtype=np.int64))
+
+
+@given(masks)
+def test_mask_roundtrip(mask):
+    assert array_to_mask(mask_to_array(mask)) == mask
+
+
+@given(masks)
+def test_mask_popcount_matches(mask):
+    assert mask_to_array(mask).sum() == mask.bit_count()
+
+
+@given(addr_arrays)
+def test_coalesce_covers_every_address(addrs):
+    segments = coalesce(addrs, 128)
+    for addr in addrs:
+        base = (addr // 128) * 128
+        assert base in segments
+
+
+@given(addr_arrays)
+def test_coalesce_segment_count_bounds(addrs):
+    segments = coalesce(addrs, 128)
+    assert 1 <= len(segments) <= len(addrs)
+    assert segments == sorted(set(segments))
+    assert all(s % 128 == 0 for s in segments)
+
+
+@given(addr_arrays)
+def test_coalesce_monotone_in_line_size(addrs):
+    small = coalesce(addrs, 128)
+    large = coalesce(addrs, 256)
+    assert len(large) <= len(small)
+
+
+@given(addr_arrays)
+def test_bank_conflict_bounds(addrs):
+    passes = bank_conflict_passes(addrs, 32)
+    distinct_words = len(np.unique(addrs // 4))
+    assert 1 <= passes <= min(32 * 32, distinct_words) or passes <= distinct_words
+    # Broadcast: all-same address is always one pass.
+    same = np.full(32, addrs[0], dtype=np.int64)
+    assert bank_conflict_passes(same, 32) == 1
+
+
+@given(st.lists(st.integers(min_value=0, max_value=4096), min_size=1, max_size=300))
+def test_cache_matches_reference_lru(line_indices):
+    """The tag array must behave exactly like a reference LRU model."""
+    line = 128
+    cache = SetAssocCache(size_bytes=4 * 2 * line, assoc=2, line_bytes=line)  # 4 sets
+    reference: dict[int, list[int]] = {s: [] for s in range(4)}
+    for idx in line_indices:
+        addr = idx * line
+        set_idx = idx % 4
+        ref_set = reference[set_idx]
+        expected_hit = addr in ref_set
+        assert cache.access(addr) == expected_hit
+        if expected_hit:
+            ref_set.remove(addr)
+        elif len(ref_set) == 2:
+            ref_set.pop(0)
+        ref_set.append(addr)
+
+
+@given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 1000)), min_size=1, max_size=50))
+def test_dram_completions_monotone_per_channel(requests):
+    cfg = GPUConfig().with_(dram_channels=2)
+    dram = DramModel(cfg)
+    last_start: dict[int, int] = {}
+    requests = sorted(requests, key=lambda r: r[1])
+    for line_idx, earliest in requests:
+        addr = line_idx * cfg.line_bytes
+        channel = dram.channel_of(addr)
+        done = dram.access(addr, earliest)
+        assert done >= earliest + cfg.dram_latency
+        if channel in last_start:
+            assert done >= last_start[channel]  # FCFS per channel
+        last_start[channel] = done
+
+
+@given(
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=32, max_value=1024),
+    st.integers(min_value=0, max_value=49152),
+)
+def test_occupancy_baseline_respects_all_limits(regs, threads, smem):
+    b = KernelBuilder("k", regs_per_thread=regs, smem_bytes=smem, cta_dim=(threads, 1, 1))
+    b.exit()
+    kernel = b.build()
+    cfg = GPUConfig()
+    occ = occupancy(kernel, cfg)
+    n = occ.baseline_ctas
+    assert n <= cfg.max_ctas_per_sm
+    assert n * occ.warps_per_cta <= cfg.max_warps_per_sm
+    assert n * threads <= cfg.max_threads_per_sm
+    assert n * regs * threads <= cfg.registers_per_sm
+    assert n * smem <= cfg.smem_per_sm
+    # One more CTA must violate something (maximality), unless unbounded.
+    m = n + 1
+    assert (
+        m > cfg.max_ctas_per_sm
+        or m * occ.warps_per_cta > cfg.max_warps_per_sm
+        or m * threads > cfg.max_threads_per_sm
+        or m * regs * threads > cfg.registers_per_sm
+        or m * smem > cfg.smem_per_sm
+    )
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20))
+def test_geomean_bounds(values):
+    gm = geomean(values)
+    assert min(values) <= gm * (1 + 1e-9)
+    assert gm <= max(values) * (1 + 1e-9)
+
+
+@given(st.floats(min_value=0.01, max_value=100.0), st.integers(1, 10))
+def test_geomean_of_constant(value, count):
+    assert geomean([value] * count) == np.float64(value).item() or abs(geomean([value] * count) - value) < 1e-9

@@ -1,0 +1,126 @@
+"""Warp-scheduler policies: LRR rotation, GTO greediness, two-level sets."""
+
+import pytest
+
+from repro.sim.schedulers import GtoScheduler, LrrScheduler, TwoLevelScheduler, make_scheduler
+
+
+class _W:
+    """Stand-in warp with an identity."""
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return self.name
+
+
+def warps(n):
+    return [_W(f"w{i}") for i in range(n)]
+
+
+def always(_w):
+    return True
+
+
+def test_factory():
+    assert isinstance(make_scheduler("lrr"), LrrScheduler)
+    assert isinstance(make_scheduler("gto"), GtoScheduler)
+    assert isinstance(make_scheduler("two-level"), TwoLevelScheduler)
+    with pytest.raises(ValueError):
+        make_scheduler("bogus")
+
+
+def test_lrr_rotates():
+    s = LrrScheduler()
+    ws = warps(3)
+    for w in ws:
+        s.add_warp(w)
+    picks = [s.pick(always) for _ in range(6)]
+    assert picks == [ws[0], ws[1], ws[2], ws[0], ws[1], ws[2]]
+
+
+def test_lrr_skips_stalled():
+    s = LrrScheduler()
+    ws = warps(3)
+    for w in ws:
+        s.add_warp(w)
+    assert s.pick(lambda w: w is not ws[0]) is ws[1]
+
+
+def test_lrr_none_when_all_stalled():
+    s = LrrScheduler()
+    for w in warps(3):
+        s.add_warp(w)
+    assert s.pick(lambda w: False) is None
+
+
+def test_gto_stays_greedy():
+    s = GtoScheduler()
+    ws = warps(3)
+    for w in ws:
+        s.add_warp(w)
+    assert s.pick(always) is ws[0]
+    assert s.pick(always) is ws[0]  # same warp until it stalls
+
+
+def test_gto_falls_back_to_oldest():
+    s = GtoScheduler()
+    ws = warps(3)
+    for w in ws:
+        s.add_warp(w)
+    s.pick(always)  # greedy on w0
+    picked = s.pick(lambda w: w is not ws[0])
+    assert picked is ws[1]  # oldest issuable
+    # And becomes the new greedy warp.
+    assert s.pick(always) is ws[1]
+
+
+def test_gto_remove_greedy_warp():
+    s = GtoScheduler()
+    ws = warps(2)
+    for w in ws:
+        s.add_warp(w)
+    s.pick(always)
+    s.remove_warp(ws[0])
+    assert s.pick(always) is ws[1]
+
+
+def test_two_level_limits_active_set():
+    s = TwoLevelScheduler(active_size=2)
+    ws = warps(4)
+    for w in ws:
+        s.add_warp(w)
+    picks = {s.pick(always) for _ in range(4)}
+    assert picks == {ws[0], ws[1]}  # only the active set rotates
+
+
+def test_two_level_refills_on_stall():
+    s = TwoLevelScheduler(active_size=2)
+    ws = warps(4)
+    for w in ws:
+        s.add_warp(w)
+    s.pick(always)
+    # First two stall; pending warps must be promoted.
+    issuable = lambda w: w in (ws[2], ws[3])
+    picked = s.pick(issuable)
+    assert picked in (ws[2], ws[3])
+
+
+def test_two_level_remove_warp():
+    s = TwoLevelScheduler(active_size=2)
+    ws = warps(2)
+    for w in ws:
+        s.add_warp(w)
+    s.pick(always)
+    s.remove_warp(ws[0])
+    assert s.pick(always) is ws[1]
+
+
+def test_empty_scheduler_returns_none():
+    for policy in ("lrr", "gto", "two-level"):
+        s = make_scheduler(policy)
+        s.add_warp(_W("only"))
+        s.remove_warp(s.warps[0])
+        assert s.warps == []
+        assert s.pick(always) is None

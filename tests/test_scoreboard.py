@@ -1,0 +1,85 @@
+"""Scoreboard: dependence blocking, provenance, purging."""
+
+from repro.isa.instruction import Instruction, MemRef, Reg
+from repro.isa.opcodes import Op
+from repro.sim.scoreboard import Scoreboard
+
+
+def iadd(dst, a, b):
+    return Instruction(op=Op.IADD, dst=Reg(dst), srcs=(Reg(a), Reg(b)))
+
+
+def test_empty_scoreboard_never_blocks():
+    sb = Scoreboard()
+    assert sb.blocking(iadd(0, 1, 2), now=5) == (5, False)
+
+
+def test_raw_dependence_blocks_until_ready():
+    sb = Scoreboard()
+    sb.set_pending(1, ready_cycle=100, is_global=False)
+    blocked_until, is_global = sb.blocking(iadd(0, 1, 2), now=10)
+    assert blocked_until == 100
+    assert not is_global
+
+
+def test_waw_on_destination_blocks():
+    sb = Scoreboard()
+    sb.set_pending(0, ready_cycle=50, is_global=True)
+    blocked_until, is_global = sb.blocking(iadd(0, 1, 2), now=10)
+    assert blocked_until == 50
+    assert is_global
+
+
+def test_global_provenance_reported():
+    sb = Scoreboard()
+    sb.set_pending(1, ready_cycle=500, is_global=True)
+    sb.set_pending(2, ready_cycle=20, is_global=False)
+    _until, is_global = sb.blocking(iadd(0, 1, 2), now=10)
+    assert is_global  # the dominating (latest) blocker is the global load
+
+
+def test_short_alu_dominates_when_later():
+    sb = Scoreboard()
+    sb.set_pending(1, ready_cycle=500, is_global=False)
+    sb.set_pending(2, ready_cycle=20, is_global=True)
+    _until, is_global = sb.blocking(iadd(0, 1, 2), now=10)
+    # Latest blocker is the ALU op, but a global dependence still exists.
+    assert is_global
+
+
+def test_entries_expire():
+    sb = Scoreboard()
+    sb.set_pending(1, ready_cycle=100, is_global=True)
+    assert sb.blocking(iadd(0, 1, 2), now=100) == (100, False)
+    assert sb.outstanding(100) == {}
+
+
+def test_memref_base_checked():
+    sb = Scoreboard()
+    sb.set_pending(3, ready_cycle=80, is_global=True)
+    load = Instruction(op=Op.LDG, dst=Reg(0), srcs=(MemRef(Reg(3)),))
+    assert sb.blocking(load, now=10)[0] == 80
+
+
+def test_predicate_register_checked():
+    sb = Scoreboard()
+    sb.set_pending(7, ready_cycle=60, is_global=False)
+    instr = Instruction(op=Op.MOV, dst=Reg(0), srcs=(Reg(1),), pred=Reg(7))
+    assert sb.blocking(instr, now=10)[0] == 60
+
+
+def test_mem_pending_until_tracks_max():
+    sb = Scoreboard()
+    sb.set_pending(1, ready_cycle=100, is_global=True)
+    sb.set_pending(2, ready_cycle=300, is_global=True)
+    sb.set_pending(3, ready_cycle=900, is_global=False)  # ALU: not memory
+    assert sb.mem_pending_until() == 300
+    assert sb.has_mem_pending(200)
+    assert not sb.has_mem_pending(300)
+
+
+def test_rewriting_register_updates_entry():
+    sb = Scoreboard()
+    sb.set_pending(1, ready_cycle=100, is_global=True)
+    sb.set_pending(1, ready_cycle=40, is_global=False)
+    assert sb.blocking(iadd(0, 1, 2), now=10) == (40, False)

@@ -1,0 +1,76 @@
+"""CTA tracer: sampling, rendering, state accounting."""
+
+import pytest
+
+from repro.analysis.trace import CTATracer
+from repro.kernels import get
+from repro.sim.config import scaled_fermi
+from repro.sim.gpu import GPU
+
+
+def traced_run(arch, stride=32):
+    bench = get("stride")
+    prep = bench.prepare(0.5)
+    tracer = CTATracer(stride=stride)
+    gpu = GPU(scaled_fermi(num_sms=1, arch=arch))
+    result = gpu.launch(bench.kernel, prep.grid_dim, prep.gmem, prep.params, tracer=tracer)
+    prep.check(result)
+    return tracer
+
+
+def test_stride_must_be_positive():
+    with pytest.raises(ValueError):
+        CTATracer(stride=0)
+
+
+def test_tracer_collects_samples():
+    tracer = traced_run("baseline")
+    assert tracer.sample_count > 0
+    assert tracer.samples
+    symbols = {s for row in tracer.samples.values() for s in row.values()}
+    assert symbols <= {"A", "i", "s", "-"}
+
+
+def test_baseline_ctas_are_only_active():
+    tracer = traced_run("baseline")
+    for cta_id in tracer.samples:
+        fractions = tracer.state_fractions(cta_id)
+        assert set(fractions) == {"A"}, cta_id
+
+
+def test_vt_shows_inactive_and_switching_states():
+    tracer = traced_run("vt", stride=8)
+    symbols = {s for row in tracer.samples.values() for s in row.values()}
+    assert "i" in symbols  # virtual CTAs parked inactive
+    assert "A" in symbols
+
+
+def test_render_timeline_shape():
+    tracer = traced_run("vt")
+    text = tracer.render_timeline(max_ctas=6)
+    lines = text.splitlines()
+    assert "timeline" in lines[0]
+    cta_lines = [l for l in lines if l.startswith("cta")]
+    assert len(cta_lines) == 6
+    # All rows render to equal width.
+    assert len({len(l) for l in cta_lines}) == 1
+
+
+def test_render_compresses_to_width():
+    tracer = traced_run("vt", stride=4)
+    text = tracer.render_timeline(max_ctas=3, width=40)
+    for line in text.splitlines():
+        if line.startswith("cta"):
+            assert len(line) <= 8 + 41
+
+
+def test_empty_tracer_renders_placeholder():
+    assert CTATracer().render_timeline() == "(no samples)"
+
+
+def test_state_fractions_sum_to_one():
+    tracer = traced_run("vt")
+    cta_id = next(iter(tracer.samples))
+    fractions = tracer.state_fractions(cta_id)
+    assert abs(sum(fractions.values()) - 1.0) < 1e-9
+    assert tracer.state_fractions(999999) == {}

@@ -1,0 +1,90 @@
+"""Workload generators: determinism, shapes, reference helpers."""
+
+import numpy as np
+
+from repro.workloads import (
+    bfs_levels,
+    random_array,
+    random_csr_graph,
+    random_csr_matrix,
+    random_grid,
+    random_ints,
+)
+from repro.workloads.graphs import INF_LEVEL, bfs_expand_level
+from repro.workloads.grids import stencil5_reference
+from repro.workloads.matrices import csr_matvec
+
+
+def test_random_array_deterministic():
+    assert (random_array(16, seed=3) == random_array(16, seed=3)).all()
+    assert not (random_array(16, seed=3) == random_array(16, seed=4)).all()
+
+
+def test_random_array_range():
+    a = random_array(100, seed=1, low=2.0, high=3.0)
+    assert (a >= 2.0).all() and (a < 3.0).all()
+
+
+def test_random_ints_exact():
+    a = random_ints(100, seed=1, low=0, high=10)
+    assert (a == np.floor(a)).all()
+    assert a.min() >= 0 and a.max() < 10
+
+
+def test_csr_graph_well_formed():
+    row_ptr, col_idx = random_csr_graph(50, avg_degree=4, seed=2)
+    assert len(row_ptr) == 51
+    assert row_ptr[0] == 0
+    assert (np.diff(row_ptr) >= 0).all()
+    assert row_ptr[-1] == len(col_idx)
+    assert col_idx.min() >= 0 and col_idx.max() < 50
+
+
+def test_bfs_levels_source_zero():
+    row_ptr, col_idx = random_csr_graph(64, avg_degree=4, seed=5)
+    levels = bfs_levels(row_ptr, col_idx, source=0)
+    assert levels[0] == 0
+    reached = levels[levels < INF_LEVEL]
+    assert (reached >= 0).all()
+
+
+def test_bfs_expand_matches_full_bfs():
+    row_ptr, col_idx = random_csr_graph(64, avg_degree=4, seed=6)
+    upto1 = bfs_levels(row_ptr, col_idx, source=0, max_level=1)
+    expanded = bfs_expand_level(row_ptr, col_idx, upto1, current=1)
+    upto2 = bfs_levels(row_ptr, col_idx, source=0, max_level=2)
+    assert np.array_equal(expanded, upto2)
+
+
+def test_csr_matrix_and_matvec():
+    row_ptr, col_idx, values = random_csr_matrix(20, 20, avg_nnz_per_row=3, seed=7)
+    x = random_array(20, seed=8)
+    y = csr_matvec(row_ptr, col_idx, values, x)
+    # Compare against a dense reconstruction.
+    dense = np.zeros((20, 20))
+    rp = row_ptr.astype(int)
+    for r in range(20):
+        for j in range(rp[r], rp[r + 1]):
+            dense[r, int(col_idx[j])] += values[j]
+    assert np.allclose(y, dense @ x)
+
+
+def test_grid_shape_and_range():
+    g = random_grid(8, 16, seed=9, low=1.0, high=2.0)
+    assert g.shape == (8, 16)
+    assert (g >= 1.0).all() and (g < 2.0).all()
+
+
+def test_stencil_reference_constant_field_fixed_point():
+    field = np.full((6, 6), 2.0)
+    out = stencil5_reference(field, center_weight=0.5, neighbor_weight=0.125)
+    # 0.5*2 + 0.125*(4*2) = 2: constant fields are fixed points.
+    assert np.allclose(out, 2.0)
+
+
+def test_stencil_reference_clamps_edges():
+    field = np.zeros((3, 3))
+    field[0, 0] = 8.0
+    out = stencil5_reference(field, 0.0, 0.25)
+    # Corner neighbours clamp onto itself twice: (8+8+0+0)*0.25 = 4.
+    assert out[0, 0] == 4.0
