@@ -7,7 +7,12 @@ under ``benchmarks/`` call straight into them.
 """
 
 from repro.analysis.geomean import geomean, speedup_summary
-from repro.analysis.runner import RunRecord, run_benchmark, run_matrix
+from repro.analysis.runner import (
+    RunRecord,
+    run_benchmark,
+    run_benchmark_safe,
+    run_matrix,
+)
 from repro.analysis.trace import CTATracer
 from repro.analysis.tables import ascii_bars, format_table
 
@@ -16,6 +21,7 @@ __all__ = [
     "speedup_summary",
     "RunRecord",
     "run_benchmark",
+    "run_benchmark_safe",
     "run_matrix",
     "ascii_bars",
     "format_table",

@@ -146,47 +146,80 @@ def e4_idle_cycles(cfg: GPUConfig | None = None, scale: float = 1.0):
 # E5 — headline: speedups of VT and ideal-sched over baseline
 # ---------------------------------------------------------------------------
 
-def e5_speedup(cfg: GPUConfig | None = None, scale: float = 1.0):
-    """The headline figure: per-benchmark IPC normalized to baseline."""
+def e5_speedup(cfg: GPUConfig | None = None, scale: float = 1.0,
+               benches=None, keep_going: bool = True):
+    """The headline figure: per-benchmark IPC normalized to baseline.
+
+    With ``keep_going`` (default) a failing (bench, arch) cell renders as
+    ``FAILED(<reason>)`` and is excluded from the speedup statistics, so
+    the rest of the table survives one broken run; ``keep_going=False``
+    restores the historical first-failure-raises behaviour.
+    """
     base_cfg = cfg or default_config()
-    records = run_matrix(all_benchmarks(), ARCHS, base_cfg, scale)
+    benches = list(benches) if benches is not None else all_benchmarks()
+    records = run_matrix(benches, ARCHS, base_cfg, scale, keep_going=keep_going)
     rows = []
     vt_speedups = {}
     ideal_speedups = {}
-    for bench in all_benchmarks():
-        base = records[(bench.name, ArchMode.BASELINE)].cycles
-        vt = records[(bench.name, ArchMode.VT)].cycles
-        ideal = records[(bench.name, ArchMode.IDEAL_SCHED)].cycles
+    failures = {}
+    for bench in benches:
+        by_arch = {arch: records[(bench.name, arch)] for arch in ARCHS}
+        if not all(record.ok for record in by_arch.values()):
+            failures[bench.name] = {
+                arch: record for arch, record in by_arch.items() if not record.ok
+            }
+            rows.append((
+                bench.name,
+                *(record.cycles if record.ok else record.failure
+                  for record in by_arch.values()),
+                "-", "-", "-",
+            ))
+            continue
+        base = by_arch[ArchMode.BASELINE].cycles
+        vt = by_arch[ArchMode.VT].cycles
+        ideal = by_arch[ArchMode.IDEAL_SCHED].cycles
         vt_speedups[bench.name] = base / vt
         ideal_speedups[bench.name] = base / ideal
         rows.append((bench.name, base, vt, ideal,
                      f"x{base / vt:.3f}", f"x{base / ideal:.3f}",
-                     records[(bench.name, ArchMode.VT)].stats.total_swaps))
+                     by_arch[ArchMode.VT].stats.total_swaps))
     table = format_table(
         ("benchmark", "base cyc", "VT cyc", "ideal cyc", "VT speedup", "ideal speedup", "swaps"),
         rows,
         title="E5 - speedup over baseline (paper: VT avg +23.9%)",
     )
-    bars = ascii_bars(sorted(vt_speedups.items(), key=lambda kv: -kv[1]), reference=1.0, unit="x")
-    gm_vt = geomean(vt_speedups.values())
-    gm_ideal = geomean(ideal_speedups.values())
-    report = "\n".join([
-        table,
-        "",
-        "VT speedup (normalized IPC, '|' = baseline):",
-        bars,
-        "",
-        f"VT:    {speedup_summary(vt_speedups)}",
-        f"ideal: {speedup_summary(ideal_speedups)}",
-    ])
+    parts = [table]
+    if failures:
+        parts.append("")
+        parts.append("failed cells (excluded from the statistics):")
+        for name, by_arch in failures.items():
+            for arch, record in by_arch.items():
+                parts.append(f"  {name}/{arch}: {record.error}")
+    if vt_speedups:
+        bars = ascii_bars(sorted(vt_speedups.items(), key=lambda kv: -kv[1]),
+                          reference=1.0, unit="x")
+        gm_vt = geomean(vt_speedups.values())
+        gm_ideal = geomean(ideal_speedups.values())
+        parts.extend([
+            "",
+            "VT speedup (normalized IPC, '|' = baseline):",
+            bars,
+            "",
+            f"VT:    {speedup_summary(vt_speedups)}",
+            f"ideal: {speedup_summary(ideal_speedups)}",
+        ])
+    else:
+        gm_vt = gm_ideal = float("nan")
+        parts.extend(["", "no cell completed; no speedup statistics"])
     data = {
         "vt": vt_speedups,
         "ideal": ideal_speedups,
         "geomean_vt": gm_vt,
         "geomean_ideal": gm_ideal,
         "records": records,
+        "failures": failures,
     }
-    return report, data
+    return "\n".join(parts), data
 
 
 # ---------------------------------------------------------------------------
@@ -546,6 +579,50 @@ def x3_full_chip(cfg: GPUConfig | None = None, scale: float = 1.0,
         title="X3 (methodology) - scaled chip vs full GTX480-class chip",
     )
     return report, data
+
+
+# ---------------------------------------------------------------------------
+# doctor — sanitizer-on smoke sweep (the `repro doctor` subcommand)
+# ---------------------------------------------------------------------------
+
+def doctor_report(scale: float = 0.25, sms: int = 1, benches=None, archs=ARCHS):
+    """Quick health sweep: every benchmark under every architecture with
+    the per-cycle invariant sanitizer enabled, crash-tolerantly.
+
+    Returns ``(report, data)``; ``data['failures']`` lists the failing
+    (bench, arch) pairs (empty on a healthy tree).  Small scale by
+    default: the point is exercising every state machine under the
+    sanitizer, not performance numbers.
+    """
+    cfg = scaled_fermi(num_sms=sms, sanitize=True)
+    if benches is None:
+        benches = all_benchmarks()
+    else:
+        benches = [get(name) if isinstance(name, str) else name for name in benches]
+    records = run_matrix(benches, archs, cfg, scale, keep_going=True)
+    rows = []
+    failures = []
+    for bench in benches:
+        cells = []
+        for arch in archs:
+            record = records[(bench.name, arch)]
+            if record.ok:
+                cells.append(f"ok ({record.cycles} cyc)")
+            else:
+                cells.append(record.failure)
+                failures.append((bench.name, arch, record))
+        rows.append((bench.name, *cells))
+    report = format_table(
+        ("benchmark", *archs), rows,
+        title=f"doctor - sanitizer-on smoke sweep (scale {scale:g}, {sms} SM)",
+    )
+    verdict = (
+        f"\n{len(failures)} failing cell(s):\n" + "\n".join(
+            f"  {name}/{arch}: {record.error}" for name, arch, record in failures)
+        if failures else
+        f"\nall {len(rows) * len(archs)} cells clean under the sanitizer"
+    )
+    return report + verdict, {"records": records, "failures": failures}
 
 
 #: Experiment registry for the harness and docs.

@@ -4,53 +4,148 @@ Every run re-prepares the workload (fresh global memory, same seeds) so
 architecture comparisons see identical inputs, and every run's outputs are
 checked against the numpy reference — a timing result with wrong values
 never makes it into a report.
+
+Two failure disciplines coexist:
+
+* :func:`run_benchmark` raises on any failure — the right behaviour for
+  tests and single interactive runs.
+* :func:`run_benchmark_safe` and ``run_matrix(keep_going=True)`` isolate
+  each run: failures are captured into the :class:`RunRecord` (``status``,
+  ``error``, and the forensic ``dump`` for hangs), transient
+  ``SimulationTimeout``s are retried once with a doubled cycle budget, and
+  the rest of the matrix keeps going.  A multi-hour sweep survives one
+  poisoned cell and reports it instead of dying.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.kernels.base import Benchmark
+from repro.kernels.base import Benchmark, CheckFailure
 from repro.sim.config import GPUConfig
-from repro.sim.gpu import GPU
+from repro.sim.gpu import GPU, ProgressDeadlock, SimulationTimeout
+from repro.sim.sanitizer import InvariantViolation
 from repro.sim.stats import SimStats
+
+#: RunRecord.status values, roughly ordered by how alarming they are.
+STATUSES = ("ok", "timeout", "deadlock", "violation", "check-failed", "error")
 
 
 @dataclass
 class RunRecord:
-    """Result of one (benchmark, config) simulation."""
+    """Result of one (benchmark, config) simulation — successful or not."""
 
     benchmark: str
     arch: str
-    stats: SimStats
+    stats: SimStats | None
     config: GPUConfig
+    status: str = "ok"
+    error: str | None = None
+    dump: str | None = None  # deadlock forensics, when the run hung
+    retried: bool = False  # True when a retry with a raised budget ran
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     @property
     def cycles(self) -> int:
+        if self.stats is None:
+            raise RuntimeError(
+                f"{self.benchmark}/{self.arch} failed ({self.status}): {self.error}")
         return self.stats.cycles
 
     @property
     def ipc(self) -> float:
+        if self.stats is None:
+            raise RuntimeError(
+                f"{self.benchmark}/{self.arch} failed ({self.status}): {self.error}")
         return self.stats.ipc
+
+    @property
+    def failure(self) -> str:
+        """Compact ``FAILED(<reason>)`` cell for partial report tables."""
+        return f"FAILED({self.status})"
 
 
 def run_benchmark(bench: Benchmark, cfg: GPUConfig, scale: float = 1.0,
-                  check: bool = True) -> RunRecord:
-    """Simulate ``bench`` under ``cfg`` and verify its output."""
+                  check: bool = True, *, max_cycles: int | None = None,
+                  faults=None) -> RunRecord:
+    """Simulate ``bench`` under ``cfg`` and verify its output; raises on
+    timeout, deadlock, invariant violation, or check failure."""
     prepared = bench.prepare(scale)
     gpu = GPU(cfg)
-    result = gpu.launch(bench.kernel, prepared.grid_dim, prepared.gmem, prepared.params)
+    result = gpu.launch(bench.kernel, prepared.grid_dim, prepared.gmem,
+                        prepared.params, max_cycles=max_cycles, faults=faults)
     if check:
         prepared.check(result)
     return RunRecord(benchmark=bench.name, arch=cfg.arch, stats=result.stats, config=cfg)
 
 
+def _classify(exc: Exception) -> str:
+    if isinstance(exc, ProgressDeadlock):
+        return "deadlock"
+    if isinstance(exc, SimulationTimeout):
+        return "timeout"
+    if isinstance(exc, InvariantViolation):
+        return "violation"
+    if isinstance(exc, CheckFailure):
+        return "check-failed"
+    return "error"
+
+
+def run_benchmark_safe(bench: Benchmark, cfg: GPUConfig, scale: float = 1.0,
+                       check: bool = True, *, max_cycles: int | None = None,
+                       faults=None, retry_timeouts: bool = True) -> RunRecord:
+    """Like :func:`run_benchmark`, but never raises: failures come back as
+    a :class:`RunRecord` with ``status``/``error`` (and ``dump`` for hangs).
+
+    A plain ``SimulationTimeout`` may just mean the cycle budget was tight
+    for this (bench, arch) pair, so it is retried once with a doubled
+    budget.  A ``ProgressDeadlock`` is *not* retried: zero forward progress
+    does not improve with more cycles.
+    """
+    def attempt(budget: int | None) -> RunRecord:
+        try:
+            return run_benchmark(bench, cfg, scale, check,
+                                 max_cycles=budget, faults=faults)
+        except Exception as exc:  # noqa: BLE001 - isolation point by design
+            return RunRecord(
+                benchmark=bench.name, arch=cfg.arch, stats=None, config=cfg,
+                status=_classify(exc),
+                error=f"{type(exc).__name__}: {exc}",
+                dump=getattr(exc, "dump", None),
+            )
+
+    record = attempt(max_cycles)
+    if retry_timeouts and record.status == "timeout":
+        budget = 2 * (max_cycles if max_cycles is not None else cfg.max_cycles)
+        record = attempt(budget)
+        record.retried = True
+    return record
+
+
 def run_matrix(benches, archs, base_cfg: GPUConfig, scale: float = 1.0,
-               check: bool = True) -> dict[tuple[str, str], RunRecord]:
-    """Run every (benchmark, arch) pair; returns {(bench, arch): record}."""
+               check: bool = True, *, keep_going: bool = False,
+               retry_timeouts: bool = True,
+               run_timeout_cycles: int | None = None) -> dict[tuple[str, str], RunRecord]:
+    """Run every (benchmark, arch) pair; returns {(bench, arch): record}.
+
+    With ``keep_going`` each cell is isolated: a failing run is captured
+    as a failed :class:`RunRecord` and the sweep continues — callers must
+    filter on ``record.ok``.  Without it (the default) the first failure
+    raises, matching the historical strict behaviour.
+    ``run_timeout_cycles`` bounds each individual run's cycle budget.
+    """
     records: dict[tuple[str, str], RunRecord] = {}
     for bench in benches:
         for arch in archs:
             cfg = base_cfg.with_(arch=arch)
-            records[(bench.name, arch)] = run_benchmark(bench, cfg, scale, check)
+            if keep_going:
+                records[(bench.name, arch)] = run_benchmark_safe(
+                    bench, cfg, scale, check, max_cycles=run_timeout_cycles,
+                    retry_timeouts=retry_timeouts)
+            else:
+                records[(bench.name, arch)] = run_benchmark(
+                    bench, cfg, scale, check, max_cycles=run_timeout_cycles)
     return records

@@ -6,28 +6,52 @@ Commands:
 * ``run BENCH`` — simulate one benchmark under one architecture.
 * ``compare BENCH`` — baseline vs VT vs ideal-sched side by side.
 * ``experiment ID`` — regenerate a paper artifact (E1..E12, X1..X3).
+* ``doctor`` — sanitizer-on smoke sweep over the whole suite.
 * ``occupancy BENCH`` — the occupancy calculator's view of a kernel.
 * ``disasm BENCH`` — disassemble a benchmark kernel.
 * ``profile BENCH`` — static instruction-mix / control-flow profile.
+
+Failures exit cleanly: simulation timeouts and deadlocks print a one-line
+error plus the path of the forensic dump (exit 1) instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
+import tempfile
 
-from repro.analysis.experiments import ALL_EXPERIMENTS
+from repro.analysis.experiments import ALL_EXPERIMENTS, doctor_report
 from repro.analysis.runner import run_benchmark
 from repro.analysis.tables import format_table
 from repro.core.occupancy import occupancy
 from repro.kernels.registry import all_benchmarks, get
 from repro.sim.config import ArchMode, scaled_fermi
+from repro.sim.gpu import ProgressDeadlock, SimulationTimeout
+from repro.sim.sanitizer import InvariantViolation
+
+
+def positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text!r}")
+    return value
+
+
+def positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text!r}")
+    return value
 
 
 def _config(args, arch: str):
     overrides = {}
     if getattr(args, "scheduler", None):
         overrides["warp_scheduler"] = args.scheduler
+    if getattr(args, "sanitize", False):
+        overrides["sanitize"] = True
     return scaled_fermi(num_sms=args.sms, arch=arch, **overrides)
 
 
@@ -43,7 +67,8 @@ def cmd_list(_args) -> int:
 
 def cmd_run(args) -> int:
     bench = get(args.benchmark)
-    record = run_benchmark(bench, _config(args, args.arch), scale=args.scale)
+    record = run_benchmark(bench, _config(args, args.arch), scale=args.scale,
+                           max_cycles=args.max_cycles)
     print(f"{bench.name} on {args.arch} (scale {args.scale:g}, {args.sms} SMs):")
     print(record.stats.summary())
     return 0
@@ -54,7 +79,8 @@ def cmd_compare(args) -> int:
     rows = []
     baseline_cycles = None
     for arch in ArchMode.ALL:
-        record = run_benchmark(bench, _config(args, arch), scale=args.scale)
+        record = run_benchmark(bench, _config(args, arch), scale=args.scale,
+                               max_cycles=args.max_cycles)
         stats = record.stats
         if baseline_cycles is None:
             baseline_cycles = stats.cycles
@@ -80,9 +106,20 @@ def cmd_experiment(args) -> int:
     kwargs = {}
     if key not in ("E1", "E2", "E3", "E11"):
         kwargs["scale"] = args.scale
+    # Crash tolerance is opt-out: experiments that support keep_going mark
+    # failing cells FAILED(<reason>) unless --strict asks them to raise.
+    if "keep_going" in inspect.signature(fn).parameters:
+        kwargs["keep_going"] = not args.strict
     report, _data = fn(**kwargs)
     print(report)
     return 0
+
+
+def cmd_doctor(args) -> int:
+    report, data = doctor_report(scale=args.scale, sms=args.sms,
+                                 benches=args.benchmarks or None)
+    print(report)
+    return 1 if data["failures"] else 0
 
 
 def cmd_occupancy(args) -> int:
@@ -134,9 +171,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("benchmark", help="benchmark name (see `repro list`)")
         if with_arch:
             p.add_argument("--arch", choices=ArchMode.ALL, default=ArchMode.BASELINE)
-        p.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
-        p.add_argument("--sms", type=int, default=2, help="simulated SM count")
+        p.add_argument("--scale", type=positive_float, default=1.0,
+                       help="workload scale factor (> 0)")
+        p.add_argument("--sms", type=positive_int, default=2,
+                       help="simulated SM count (>= 1)")
         p.add_argument("--scheduler", choices=("lrr", "gto", "two-level"), default=None)
+        p.add_argument("--sanitize", action="store_true",
+                       help="run the per-cycle invariant sanitizer (slower)")
+        p.add_argument("--max-cycles", type=positive_int, default=None,
+                       help="override the hard cycle budget")
 
     run_p = sub.add_parser("run", help="simulate one benchmark")
     add_sim_args(run_p)
@@ -148,8 +191,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper artifact")
     exp_p.add_argument("id", help="experiment id: E1..E12 or X1..X3")
-    exp_p.add_argument("--scale", type=float, default=1.0)
+    exp_p.add_argument("--scale", type=positive_float, default=1.0)
+    exp_p.add_argument("--strict", action="store_true",
+                       help="abort on the first failing run instead of "
+                            "rendering FAILED(<reason>) cells")
     exp_p.set_defaults(fn=cmd_experiment)
+
+    doc_p = sub.add_parser(
+        "doctor", help="sanitizer-on smoke sweep over the suite")
+    doc_p.add_argument("--scale", type=positive_float, default=0.25)
+    doc_p.add_argument("--sms", type=positive_int, default=1)
+    doc_p.add_argument("--benchmark", action="append", dest="benchmarks",
+                       metavar="BENCH", default=None,
+                       help="restrict to specific benchmarks (repeatable)")
+    doc_p.set_defaults(fn=cmd_doctor)
 
     occ_p = sub.add_parser("occupancy", help="occupancy analysis of a kernel")
     add_sim_args(occ_p, with_arch=False)
@@ -166,6 +221,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_dump(dump: str | None) -> str | None:
+    """Persist a deadlock-forensics dump; returns its path (None if empty)."""
+    if not dump:
+        return None
+    with tempfile.NamedTemporaryFile(
+            "w", prefix="repro-dump-", suffix=".txt", delete=False) as handle:
+        handle.write(dump + "\n")
+        return handle.name
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -173,6 +238,19 @@ def main(argv=None) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    except InvariantViolation as exc:
+        print(f"invariant violation: {exc}", file=sys.stderr)
+        return 1
+    except SimulationTimeout as exc:
+        kind = "deadlock" if isinstance(exc, ProgressDeadlock) else "timeout"
+        print(f"simulation {kind}: {exc}", file=sys.stderr)
+        path = _write_dump(exc.dump)
+        if path:
+            print(f"diagnostic dump written to {path}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -77,6 +77,9 @@ class VirtualThreadManager(CTAManagerBase):
 
     # -- per-cycle swap engine -------------------------------------------------------
 
+    def swap_in_flight(self) -> bool:
+        return self._swap_victim is not None or self._swap_incoming is not None
+
     def update(self, now: int, warp_status) -> None:
         if self._swap_victim is not None or self._swap_incoming is not None:
             self._advance_swap(now)
@@ -96,6 +99,12 @@ class VirtualThreadManager(CTAManagerBase):
             victim.became_inactive_at = now
             victim.stall_since = None
             self._swap_victim = None
+            if self.faults is not None and self.faults.corrupt_swap(
+                    self.sm_id, now, victim.cta_id):
+                # Injected fault: the backup-SRAM valid bit flips and the
+                # victim reappears ACTIVE without a SWAP_IN restore — an
+                # illegal state-machine edge the sanitizer must catch.
+                victim.state = CTAState.ACTIVE
             if self._swap_incoming is not None:
                 incoming = self._swap_incoming
                 incoming.state = CTAState.SWAP_IN

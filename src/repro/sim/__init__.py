@@ -13,8 +13,21 @@ Virtual Thread paper assumes (a GPGPU-Sim-like Fermi-class SM):
 """
 
 from repro.sim.config import GPUConfig
-from repro.sim.gpu import GPU, LaunchResult
+from repro.sim.faults import FaultPlan
+from repro.sim.gpu import GPU, LaunchResult, ProgressDeadlock, SimulationTimeout
 from repro.sim.memory import GlobalMemory
+from repro.sim.sanitizer import InvariantViolation, Sanitizer
 from repro.sim.stats import SimStats
 
-__all__ = ["GPUConfig", "GPU", "LaunchResult", "GlobalMemory", "SimStats"]
+__all__ = [
+    "GPUConfig",
+    "GPU",
+    "LaunchResult",
+    "GlobalMemory",
+    "SimStats",
+    "FaultPlan",
+    "SimulationTimeout",
+    "ProgressDeadlock",
+    "InvariantViolation",
+    "Sanitizer",
+]

@@ -64,13 +64,18 @@ class L1Cache:
     are forwarded to the chip-level :class:`repro.sim.memsys.MemoryModel`.
     """
 
-    def __init__(self, cfg, memory_model, sm_id: int):
+    def __init__(self, cfg, memory_model, sm_id: int, faults=None):
         self.cfg = cfg
         self.tags = SetAssocCache(cfg.l1_size, cfg.l1_assoc, cfg.line_bytes)
         self.memory_model = memory_model
         self.sm_id = sm_id
+        self.faults = faults  # optional FaultPlan filtering fill responses
         # line_addr -> fill completion cycle (the MSHR file)
         self.pending: dict[int, int] = {}
+        # Latest fill completion ever recorded; monotonic, so the sanitizer
+        # can detect a lost response in O(1) (a legitimate fill is never
+        # more than the memory system's worst latency in the future).
+        self.max_fill_completion = 0
 
     def _purge(self, now: int) -> None:
         if not self.pending:
@@ -99,7 +104,11 @@ class L1Cache:
         if self.tags.access(line_addr):
             return now + self.cfg.l1_hit_latency
         completion = self.memory_model.read(line_addr, now)
+        if self.faults is not None:
+            completion = self.faults.filter_fill(self.sm_id, line_addr, now, completion)
         self.pending[line_addr] = completion
+        if completion > self.max_fill_completion:
+            self.max_fill_completion = completion
         return completion
 
     def write(self, line_addr: int, now: int) -> int:

@@ -107,7 +107,22 @@ class GPUConfig:
     cta_dispatch: str = "round-robin"
     cta_launch_latency: int = 20  # dispatcher latency to seat a new CTA
     barrier_release_latency: int = 1
-    max_cycles: int = 5_000_000  # watchdog
+    max_cycles: int = 5_000_000  # hard watchdog: absolute cycle budget
+
+    # ---- robustness ---------------------------------------------------------
+    #: Run the per-cycle invariant sanitizer (see :mod:`repro.sim.sanitizer`).
+    #: Off by default: it costs simulation speed, not correctness.
+    sanitize: bool = False
+    #: Progress watchdog: a launch that makes no forward progress (no issue,
+    #: no dispatch, no swap in flight, no memory response outstanding) for
+    #: this many consecutive cycles raises ``ProgressDeadlock`` with a
+    #: diagnostic dump.  0 disables.  Kept well below ``max_cycles`` so
+    #: hangs are diagnosed early.
+    progress_window: int = 50_000
+    #: No legitimate memory response completes further than this many cycles
+    #: in the future; pending entries beyond it are flagged as lost by the
+    #: sanitizer and ignored by the progress watchdog's in-flight check.
+    max_pending_latency: int = 100_000
 
     def latency_for(self, op_class: OpClass) -> int:
         """Dependency-visible latency for a non-memory op class."""
@@ -151,6 +166,10 @@ class GPUConfig:
             raise ValueError(f"unknown vt_select_policy {self.vt_select_policy!r}")
         if self.cta_dispatch not in ("round-robin", "fill-first"):
             raise ValueError(f"unknown cta_dispatch {self.cta_dispatch!r}")
+        if self.progress_window < 0:
+            raise ValueError("progress_window must be >= 0 (0 disables)")
+        if self.max_pending_latency <= 0:
+            raise ValueError("max_pending_latency must be positive")
 
 
 def fermi_config(**overrides) -> GPUConfig:

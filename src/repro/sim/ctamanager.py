@@ -62,6 +62,8 @@ class CTAManagerBase:
         self.stats = stats
         self.resources = ResourceAccounting(cfg)
         self.resident: list[CTA] = []
+        self.faults = None  # optional FaultPlan, attached by the SM core
+        self.sm_id = -1  # set by the owning SM core
 
     # -- admission ---------------------------------------------------------------
 
@@ -86,6 +88,11 @@ class CTAManagerBase:
 
     def is_schedulable(self, cta: CTA, now: int) -> bool:
         return cta.schedulable_now(now)
+
+    def swap_in_flight(self) -> bool:
+        """Whether a context switch is busy (always False without VT);
+        counts as forward progress for the deadlock watchdog."""
+        return False
 
     # -- occupancy reporting ---------------------------------------------------
 

@@ -22,12 +22,28 @@ from repro.sim.config import ArchMode, GPUConfig
 from repro.sim.cta import CTA
 from repro.sim.memory import GlobalMemory
 from repro.sim.memsys import MemoryModel
+from repro.sim.sanitizer import ProgressTracker, Sanitizer, diagnostic_dump
 from repro.sim.smcore import SMCore
 from repro.sim.stats import SimStats
 
 
 class SimulationTimeout(RuntimeError):
-    """The watchdog fired: the launch did not finish within max_cycles."""
+    """The hard watchdog fired: the launch did not finish within max_cycles.
+
+    ``dump`` carries the deadlock-forensics snapshot taken when the limit
+    was hit (see :func:`repro.sim.sanitizer.diagnostic_dump`).
+    """
+
+    def __init__(self, message: str, dump: str | None = None):
+        super().__init__(message)
+        self.dump = dump
+
+
+class ProgressDeadlock(SimulationTimeout):
+    """The progress watchdog fired: no SM made forward progress for
+    ``progress_window`` consecutive cycles.  Raised long before
+    ``max_cycles``, with the same forensic ``dump`` attached — a true
+    deadlock never gets better with a bigger cycle budget."""
 
 
 @dataclass
@@ -75,8 +91,13 @@ class GPU:
         params: tuple[float, ...] = (),
         max_cycles: int | None = None,
         tracer=None,
+        faults=None,
     ) -> LaunchResult:
-        """Run ``kernel`` over ``grid_dim`` CTAs to completion."""
+        """Run ``kernel`` over ``grid_dim`` CTAs to completion.
+
+        ``faults`` optionally injects failures (:class:`repro.sim.faults.FaultPlan`);
+        with ``cfg.sanitize`` the per-cycle invariant sanitizer runs too.
+        """
         cfg = self.cfg
         grid = self._normalize_grid(grid_dim)
         total_ctas = grid[0] * grid[1] * grid[2]
@@ -87,11 +108,16 @@ class GPU:
         gmem = gmem if gmem is not None else GlobalMemory(line_bytes=cfg.line_bytes)
         memory_model = MemoryModel(cfg)
         factory = _manager_factory(cfg.arch)
-        sms = [SMCore(sm_id, cfg, memory_model, factory) for sm_id in range(cfg.num_sms)]
+        sanitizer = Sanitizer(cfg) if cfg.sanitize else None
+        sms = [
+            SMCore(sm_id, cfg, memory_model, factory, sanitizer=sanitizer, faults=faults)
+            for sm_id in range(cfg.num_sms)
+        ]
         for sm in sms:
             sm.gmem = gmem
 
         limit = max_cycles if max_cycles is not None else cfg.max_cycles
+        progress = ProgressTracker(cfg.progress_window)
         next_cta = 0
         now = 0
         rr_offset = 0
@@ -99,6 +125,7 @@ class GPU:
             # Dispatch: at most one CTA per SM per cycle.  Round-robin
             # rotates the starting SM each cycle (GigaThread-style fairness);
             # fill-first always starts at SM 0.
+            dispatched = False
             if next_cta < total_ctas:
                 fill_first = cfg.cta_dispatch == "fill-first"
                 if fill_first:
@@ -122,25 +149,48 @@ class GPU:
                         )
                         sm.assign_cta(cta, now)
                         next_cta += 1
+                        dispatched = True
                         if fill_first:
                             # One CTA per cycle, always packed into the
                             # lowest-numbered SM with room.
                             break
 
+            issued = 0
+            swap_busy = False
+            mem_horizon = 0
             for sm in sms:
                 if not sm.idle:
-                    sm.step(now)
+                    issued += sm.step(now)
+                    if sm.manager.swap_in_flight():
+                        swap_busy = True
+                if sm.mem_horizon > mem_horizon:
+                    mem_horizon = sm.mem_horizon
+            if dispatched:
+                # A freshly seated CTA only becomes schedulable after the
+                # dispatcher latency; cover the gap in the horizon.
+                mem_horizon = max(mem_horizon, now + cfg.cta_launch_latency)
+            progress.observe(now, issued, swap_busy, dispatched, mem_horizon)
             if tracer is not None:
                 tracer.on_cycle(now, sms)
 
             if next_cta >= total_ctas and all(sm.idle for sm in sms):
                 break
             now += 1
+            if progress.deadlocked(now):
+                reason = (
+                    f"kernel {kernel.name!r} made no forward progress for "
+                    f"{progress.stalled_cycles(now)} cycles "
+                    f"({next_cta}/{total_ctas} CTAs dispatched)"
+                )
+                raise ProgressDeadlock(
+                    reason, dump=diagnostic_dump(sms, now, reason, faults=faults))
             if now >= limit:
-                raise SimulationTimeout(
+                reason = (
                     f"kernel {kernel.name!r} exceeded {limit} cycles "
                     f"({next_cta}/{total_ctas} CTAs dispatched)"
                 )
+                raise SimulationTimeout(
+                    reason, dump=diagnostic_dump(sms, now, reason, faults=faults))
 
         return LaunchResult(
             stats=self._collect(sms, memory_model, now, total_ctas),

@@ -1,0 +1,410 @@
+"""Per-cycle invariant sanitizer, progress tracking, and deadlock forensics.
+
+Long simulations fail in two ways: *corruption* (an accounting bug or an
+injected fault silently breaks a conservation law, poisoning every number
+collected afterwards) and *hangs* (a warp that can never issue again stalls
+the launch until the hard cycle limit fires, hours later, with no clue).
+This module defends against both:
+
+* :class:`Sanitizer` — an opt-in checker (``GPUConfig.sanitize=True``)
+  invoked by :meth:`SMCore.step` every cycle and at every CTA retirement.
+  It asserts microarchitectural conservation laws and raises a structured
+  :class:`InvariantViolation` (SM id, cycle, invariant name) the moment one
+  breaks, instead of letting the run limp on.
+* :class:`ProgressTracker` — drives the progress watchdog in
+  :meth:`GPU.launch`: a cycle makes *progress* when any SM issues, a CTA
+  is dispatched, the VT swap engine is busy, or a memory response is still
+  in flight (bounded by ``max_pending_latency``).  ``progress_window``
+  consecutive cycles without progress is a deadlock — diagnosed early,
+  well before ``max_cycles``.
+* :func:`diagnostic_dump` — the forensic snapshot attached to
+  :class:`~repro.sim.gpu.SimulationTimeout` and raised with deadlocks:
+  per-SM resident CTAs, per-warp PC/state/stall reason, outstanding memory
+  requests, swap-engine state, and any injected faults.
+
+Invariants checked every cycle:
+
+1. **Capacity conservation** — register-file and shared-memory charges
+   never exceed SM capacity, never go negative, and always equal the sum
+   over resident CTAs (no leaks, no double releases).
+2. **Scheduling-limit conservation** — CTA/warp/thread slot usage stays
+   within the per-architecture limits (baseline: all resident CTAs; VT:
+   the ACTIVE set plus one in-flight switch; ideal-sched: the enlarged
+   cap).
+3. **Scoreboard/MSHR liveness** — no pending register writeback or L1
+   fill completes further than ``max_pending_latency`` cycles in the
+   future (a dropped response is caught the cycle it is recorded).
+4. **VT state-machine legality** — resident CTAs only follow the edges
+   ``ACTIVE -> SWAP_OUT -> INACTIVE -> SWAP_IN -> ACTIVE``, at most one
+   context switch is in flight, and no CTA sits in a ``SWAP_*`` state
+   outside the swap engine.
+5. **Clean retirement** — a retiring CTA has every warp finished, owns no
+   scheduler slots, leaks no scoreboard entries, and its release leaves
+   the resource accounts non-negative.
+"""
+
+from __future__ import annotations
+
+from repro.sim.cta import CTAState
+
+#: Legal VT lifecycle edges (self-loops are implicit).
+_LEGAL_EDGES = {
+    CTAState.ACTIVE: {CTAState.ACTIVE, CTAState.SWAP_OUT},
+    CTAState.SWAP_OUT: {CTAState.SWAP_OUT, CTAState.INACTIVE},
+    CTAState.INACTIVE: {CTAState.INACTIVE, CTAState.SWAP_IN},
+    CTAState.SWAP_IN: {CTAState.SWAP_IN, CTAState.ACTIVE},
+}
+
+#: States a CTA may first be observed in (set by ``on_assign``).
+_LEGAL_INITIAL = {CTAState.ACTIVE, CTAState.INACTIVE}
+
+
+class InvariantViolation(RuntimeError):
+    """A microarchitectural conservation law broke.
+
+    Carries the failing ``invariant`` name, the ``sm_id`` and ``cycle`` it
+    was detected at, and the offending ``resource`` description, so test
+    harnesses and the crash-tolerant runner can report it structurally.
+    """
+
+    def __init__(self, invariant: str, message: str, *, sm_id: int | None = None,
+                 cycle: int | None = None, resource: str | None = None):
+        self.invariant = invariant
+        self.sm_id = sm_id
+        self.cycle = cycle
+        self.resource = resource
+        where = f"sm{sm_id}" if sm_id is not None else "chip"
+        super().__init__(f"[{where} @cycle {cycle}] {invariant}: {message}")
+
+
+class Sanitizer:
+    """Opt-in per-cycle invariant checker shared by all SMs of a launch."""
+
+    def __init__(self, cfg):
+        self.cfg = cfg
+        self.checks = 0
+        # (sm_id, cta_id) -> last observed CTAState, for edge legality.
+        self._last_state: dict[tuple[int, int], CTAState] = {}
+
+    # -- helpers -----------------------------------------------------------
+
+    def _fail(self, invariant: str, message: str, sm_id: int, now: int,
+              resource: str | None = None):
+        raise InvariantViolation(invariant, message, sm_id=sm_id, cycle=now,
+                                 resource=resource)
+
+    # -- per-cycle check ---------------------------------------------------
+
+    def check_sm(self, sm, now: int) -> None:
+        """Validate every invariant on one SM; called from ``SMCore.step``."""
+        self.checks += 1
+        cfg = self.cfg
+        manager = sm.manager
+        res = manager.resources
+        resident = manager.resident
+
+        # 1. capacity conservation -----------------------------------------
+        expected_regs = expected_smem = expected_warps = expected_threads = 0
+        for cta in resident:
+            expected_regs += cta.regs_needed
+            expected_smem += cta.smem_needed
+            expected_warps += cta.kernel.warps_per_cta(cfg.warp_size)
+            expected_threads += cta.kernel.threads_per_cta
+        if res.regs_used != expected_regs or res.smem_used != expected_smem:
+            self._fail(
+                "capacity-accounting",
+                f"accounts (regs={res.regs_used}, smem={res.smem_used}) disagree "
+                f"with resident CTAs (regs={expected_regs}, smem={expected_smem})",
+                sm.sm_id, now, resource="registers/shared-memory")
+        if res.warps_used != expected_warps or res.threads_used != expected_threads:
+            self._fail(
+                "slot-accounting",
+                f"accounts (warps={res.warps_used}, threads={res.threads_used}) "
+                f"disagree with resident CTAs (warps={expected_warps}, "
+                f"threads={expected_threads})",
+                sm.sm_id, now, resource="warp/thread slots")
+        if res.regs_used < 0 or res.smem_used < 0 or res.warps_used < 0 or res.threads_used < 0:
+            self._fail("capacity-underflow", "a resource account went negative",
+                       sm.sm_id, now)
+        if res.regs_used > cfg.registers_per_sm:
+            self._fail("register-capacity",
+                       f"{res.regs_used} registers allocated, SM holds "
+                       f"{cfg.registers_per_sm}", sm.sm_id, now, resource="registers")
+        if res.smem_used > cfg.smem_per_sm:
+            self._fail("smem-capacity",
+                       f"{res.smem_used} B shared memory allocated, SM holds "
+                       f"{cfg.smem_per_sm} B", sm.sm_id, now, resource="shared memory")
+
+        # 2. scheduling-limit conservation ---------------------------------
+        self._check_scheduling_limits(sm, manager, resident, now)
+
+        # 3. scoreboard / MSHR liveness ------------------------------------
+        bound = now + cfg.max_pending_latency
+        if sm.l1.max_fill_completion > bound:
+            self._fail(
+                "mshr-liveness",
+                f"an L1 fill completes at cycle {sm.l1.max_fill_completion}, more "
+                f"than max_pending_latency={cfg.max_pending_latency} ahead — "
+                "the response was lost", sm.sm_id, now, resource="L1 MSHR")
+        for cta in resident:
+            for warp in cta.warps:
+                pending = warp.scoreboard.mem_pending_until()
+                if pending > bound:
+                    self._fail(
+                        "scoreboard-liveness",
+                        f"cta {cta.cta_id} warp {warp.local_wid} waits on a load "
+                        f"completing at cycle {pending}, more than "
+                        f"max_pending_latency={cfg.max_pending_latency} ahead",
+                        sm.sm_id, now, resource="scoreboard")
+
+        # 4. VT state machine ----------------------------------------------
+        self._check_states(sm, manager, resident, now)
+
+        # Cross-check the manager's own invariant hook when it has one.
+        assert_invariants = getattr(manager, "assert_invariants", None)
+        if assert_invariants is not None:
+            try:
+                assert_invariants(now)
+            except AssertionError as exc:
+                self._fail("manager-invariant", str(exc), sm.sm_id, now)
+
+    def _check_scheduling_limits(self, sm, manager, resident, now: int) -> None:
+        cfg = self.cfg
+        if not resident:
+            return
+        kernel = resident[0].kernel
+        if cfg.arch == "vt":
+            active_limit = manager.active_limit(kernel)
+            active_like = sum(
+                1 for c in resident
+                if c.state in (CTAState.ACTIVE, CTAState.SWAP_OUT, CTAState.SWAP_IN))
+            # +1: victim and incoming briefly coexist during a switch.
+            if active_like > active_limit + 1:
+                self._fail(
+                    "vt-active-limit",
+                    f"{active_like} CTAs hold scheduling structures, "
+                    f"limit is {active_limit} (+1 in-flight switch)",
+                    sm.sm_id, now, resource="CTA slots")
+            active_warps = sum(
+                c.num_warps for c in resident if c.state is CTAState.ACTIVE)
+            if active_warps > cfg.max_warps_per_sm:
+                self._fail(
+                    "vt-warp-slots",
+                    f"{active_warps} active warps exceed {cfg.max_warps_per_sm} "
+                    "warp slots", sm.sm_id, now, resource="warp slots")
+            if len(resident) > manager.resident_limit(kernel):
+                self._fail(
+                    "vt-resident-limit",
+                    f"{len(resident)} resident CTAs exceed the backup-slot "
+                    f"provisioning cap {manager.resident_limit(kernel)}",
+                    sm.sm_id, now, resource="backup SRAM slots")
+        elif cfg.arch == "baseline":
+            if len(resident) > cfg.max_ctas_per_sm:
+                self._fail("cta-slots",
+                           f"{len(resident)} resident CTAs exceed "
+                           f"{cfg.max_ctas_per_sm} CTA slots",
+                           sm.sm_id, now, resource="CTA slots")
+            res = manager.resources
+            if res.warps_used > cfg.max_warps_per_sm:
+                self._fail("warp-slots",
+                           f"{res.warps_used} resident warps exceed "
+                           f"{cfg.max_warps_per_sm} warp slots",
+                           sm.sm_id, now, resource="warp slots")
+            if res.threads_used > cfg.max_threads_per_sm:
+                self._fail("thread-slots",
+                           f"{res.threads_used} resident threads exceed "
+                           f"{cfg.max_threads_per_sm} thread slots",
+                           sm.sm_id, now, resource="thread slots")
+
+    def _check_states(self, sm, manager, resident, now: int) -> None:
+        victim = getattr(manager, "_swap_victim", None)
+        incoming = getattr(manager, "_swap_incoming", None)
+        if victim is not None and incoming is not None and victim is incoming:
+            self._fail("swap-engine", "victim and incoming are the same CTA",
+                       sm.sm_id, now)
+        for cta in resident:
+            state = cta.state
+            if state is CTAState.FINISHED:
+                self._fail("state-machine",
+                           f"cta {cta.cta_id} is resident but FINISHED",
+                           sm.sm_id, now)
+            key = (sm.sm_id, cta.cta_id)
+            prev = self._last_state.get(key)
+            if prev is None:
+                if state not in _LEGAL_INITIAL:
+                    self._fail("state-machine",
+                               f"cta {cta.cta_id} appeared in state {state.value}",
+                               sm.sm_id, now)
+            elif state not in _LEGAL_EDGES[prev]:
+                self._fail(
+                    "state-machine",
+                    f"cta {cta.cta_id} took illegal edge "
+                    f"{prev.value} -> {state.value}",
+                    sm.sm_id, now)
+            self._last_state[key] = state
+            # Orphaned swap states: only the engine's CTAs may be SWAP_*.
+            if state is CTAState.SWAP_OUT and cta is not victim:
+                self._fail("swap-engine",
+                           f"cta {cta.cta_id} is SWAP_OUT outside the swap engine",
+                           sm.sm_id, now)
+            if state is CTAState.SWAP_IN and cta is not incoming:
+                self._fail("swap-engine",
+                           f"cta {cta.cta_id} is SWAP_IN outside the swap engine",
+                           sm.sm_id, now)
+
+    # -- retirement check --------------------------------------------------
+
+    def on_cta_retire(self, sm, cta, now: int) -> None:
+        """Validate a CTA's retirement; called from ``SMCore._finish_cta``
+        after the manager released its resources."""
+        key = (sm.sm_id, cta.cta_id)
+        prev = self._last_state.pop(key, None)
+        if prev is not None and prev is not CTAState.ACTIVE:
+            self._fail("state-machine",
+                       f"cta {cta.cta_id} retired from state {prev.value} "
+                       "(only ACTIVE CTAs can issue their final EXIT)",
+                       sm.sm_id, now)
+        bound = now + self.cfg.max_pending_latency
+        for warp in cta.warps:
+            if not warp.finished:
+                self._fail("retire-unfinished",
+                           f"cta {cta.cta_id} retired with warp {warp.local_wid} "
+                           f"unfinished at pc {warp.pc}", sm.sm_id, now)
+            if warp.scoreboard.mem_pending_until() > bound:
+                self._fail("scoreboard-leak",
+                           f"cta {cta.cta_id} warp {warp.local_wid} retired "
+                           "leaving a pending load that never completes",
+                           sm.sm_id, now, resource="scoreboard")
+            for scheduler in sm.schedulers:
+                if warp in scheduler.warps:
+                    self._fail("scheduler-leak",
+                               f"retired warp {warp.local_wid} of cta {cta.cta_id} "
+                               "still owns a scheduler slot", sm.sm_id, now,
+                               resource="scheduler")
+        res = sm.manager.resources
+        if res.regs_used < 0 or res.smem_used < 0 or res.warps_used < 0 or res.threads_used < 0:
+            self._fail("capacity-underflow",
+                       f"retiring cta {cta.cta_id} drove a resource account "
+                       "negative (double release?)", sm.sm_id, now)
+
+
+class ProgressTracker:
+    """Forward-progress bookkeeping for the deadlock watchdog.
+
+    A cycle counts as progress when an instruction issued anywhere, a CTA
+    was dispatched, the swap engine was busy, or a memory response is
+    still legitimately in flight (``mem_horizon``, already capped by
+    ``max_pending_latency`` at record time, lies in the future).
+    """
+
+    def __init__(self, window: int):
+        self.window = window
+        self.last_progress = 0
+        self.horizon = 0
+
+    def observe(self, now: int, issued: int, swap_busy: bool, dispatched: bool,
+                mem_horizon: int) -> None:
+        if mem_horizon > self.horizon:
+            self.horizon = mem_horizon
+        if issued or swap_busy or dispatched or now < self.horizon:
+            self.last_progress = now
+
+    def stalled_cycles(self, now: int) -> int:
+        return now - self.last_progress
+
+    def deadlocked(self, now: int) -> bool:
+        return self.window > 0 and self.stalled_cycles(now) > self.window
+
+
+# ---------------------------------------------------------------------------
+# deadlock forensics
+# ---------------------------------------------------------------------------
+
+_FOREVER_ISH = 1 << 50  # anything beyond this renders as "never"
+
+
+def _cycle_str(cycle: int) -> str:
+    return "never" if cycle >= _FOREVER_ISH else str(cycle)
+
+
+def _warp_condition(warp, now: int) -> str:
+    """Human-readable stall reason for one warp."""
+    if warp.finished:
+        return "finished"
+    if warp.at_barrier:
+        return "waiting at barrier"
+    if warp.barrier_wake > now:
+        return f"barrier release, wakes @{warp.barrier_wake}"
+    instr = warp.cta.kernel.instrs[warp.pc]
+    blocked_until, any_global = warp.scoreboard.blocking(instr, now)
+    if blocked_until > now:
+        kind = "global load" if any_global else "short op"
+        return f"blocked on {kind} until {_cycle_str(blocked_until)}"
+    return "ready to issue"
+
+
+def diagnostic_dump(sms, now: int, reason: str, faults=None) -> str:
+    """Forensic snapshot of the whole chip, for timeout/deadlock reports."""
+    from repro.analysis.tables import format_table  # deferred: avoids an import cycle
+
+    sections = [f"=== deadlock forensics @cycle {now}: {reason} ==="]
+
+    cta_rows = []
+    warp_rows = []
+    mem_rows = []
+    for sm in sms:
+        manager = sm.manager
+        for cta in manager.resident:
+            done = sum(1 for w in cta.warps if w.finished)
+            cta_rows.append((
+                f"sm{sm.sm_id}", cta.cta_id, cta.state.value,
+                f"{done}/{cta.num_warps}", cta.start_cycle, cta.times_swapped_out,
+            ))
+            for warp in cta.warps:
+                if warp.finished:
+                    continue
+                pending = warp.scoreboard.outstanding(now)
+                warp_rows.append((
+                    f"sm{sm.sm_id}", cta.cta_id, warp.local_wid, warp.pc,
+                    warp.instructions_issued, _warp_condition(warp, now),
+                    ", ".join(
+                        f"r{reg}@{_cycle_str(t)}" for reg, (t, _g) in sorted(pending.items())
+                    ) or "-",
+                ))
+        outstanding = {line: t for line, t in sm.l1.pending.items() if t > now}
+        if outstanding:
+            mem_rows.append((
+                f"sm{sm.sm_id}", len(outstanding),
+                _cycle_str(min(outstanding.values())),
+                _cycle_str(max(outstanding.values())),
+                sm.cfg.l1_mshrs - len(outstanding),
+            ))
+        else:
+            mem_rows.append((f"sm{sm.sm_id}", 0, "-", "-", sm.cfg.l1_mshrs))
+
+        victim = getattr(manager, "_swap_victim", None)
+        incoming = getattr(manager, "_swap_incoming", None)
+        if victim is not None or incoming is not None:
+            sections.append(
+                f"sm{sm.sm_id} swap engine: "
+                f"victim={victim.cta_id if victim else '-'} "
+                f"incoming={incoming.cta_id if incoming else '-'} "
+                f"phase ends @{getattr(manager, '_swap_phase_end', '?')}")
+
+    sections.append(format_table(
+        ("sm", "cta", "state", "warps done", "start", "swapped out"),
+        cta_rows or [("-", "-", "-", "-", "-", "-")],
+        title="resident CTAs"))
+    sections.append(format_table(
+        ("sm", "cta", "warp", "pc", "issued", "condition", "pending regs"),
+        warp_rows or [("-", "-", "-", "-", "-", "all warps finished", "-")],
+        title="unfinished warps"))
+    sections.append(format_table(
+        ("sm", "outstanding fills", "earliest", "latest", "MSHRs free"),
+        mem_rows, title="outstanding memory requests"))
+
+    if faults is not None and getattr(faults, "events", None):
+        sections.append("injected faults:\n" + "\n".join(
+            f"  {event}" for event in faults.events))
+
+    return "\n\n".join(sections)

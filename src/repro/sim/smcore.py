@@ -37,12 +37,17 @@ _OCCUPANCY_STRIDE = 16  # occupancy is sampled every N cycles
 class SMCore:
     """One SM: warp slots, schedulers, L1, and a CTA residency manager."""
 
-    def __init__(self, sm_id: int, cfg, memory_model, make_manager):
+    def __init__(self, sm_id: int, cfg, memory_model, make_manager,
+                 sanitizer=None, faults=None):
         self.sm_id = sm_id
         self.cfg = cfg
         self.stats = SMStats()
-        self.l1 = L1Cache(cfg, memory_model, sm_id)
+        self.sanitizer = sanitizer
+        self.faults = faults
+        self.l1 = L1Cache(cfg, memory_model, sm_id, faults=faults)
         self.manager = make_manager(cfg, self.stats)
+        self.manager.sm_id = sm_id
+        self.manager.faults = faults
         self.schedulers = [make_scheduler(cfg.warp_scheduler) for _ in range(cfg.num_warp_schedulers)]
         self._next_sched = 0
         self._ldst_free = 0  # global-memory pipeline
@@ -50,6 +55,10 @@ class SMCore:
         self._sfu_free = 0
         self.gmem = None  # set at launch
         self._live_ctas = 0
+        # Latest cycle at which an outstanding memory response may still
+        # legitimately arrive (capped by max_pending_latency); the progress
+        # watchdog treats cycles before this horizon as forward progress.
+        self.mem_horizon = 0
 
     # -- CTA lifecycle -------------------------------------------------------
 
@@ -68,6 +77,8 @@ class SMCore:
                     break
         self.manager.on_cta_finish(cta, now)
         self._live_ctas -= 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_cta_retire(self, cta, now)
 
     @property
     def idle(self) -> bool:
@@ -112,6 +123,8 @@ class SMCore:
         return True
 
     def _issuable(self, warp, now: int) -> bool:
+        if self.faults is not None and self.faults.warp_stalled(self.sm_id, warp, now):
+            return False
         if not self.manager.is_schedulable(warp.cta, now):
             return False
         if self._status(warp, now) != ST_READY:
@@ -178,6 +191,9 @@ class SMCore:
             completion = access(line, now + i)
             if completion > ready:
                 ready = completion
+        horizon = min(ready, now + self.cfg.max_pending_latency)
+        if horizon > self.mem_horizon:
+            self.mem_horizon = horizon
         if instr.dst is not None:
             is_long = ready - now >= self.cfg.vt_long_stall_threshold
             warp.scoreboard.set_pending(instr.dst.idx, ready, is_long)
@@ -193,7 +209,9 @@ class SMCore:
 
     # -- per-cycle step ------------------------------------------------------------
 
-    def step(self, now: int) -> None:
+    def step(self, now: int) -> int:
+        """Advance one cycle; returns the number of instructions issued
+        (the launch loop's forward-progress signal)."""
         self.stats.cycles += 1
         self.manager.update(now, lambda warp: self._status(warp, now))
 
@@ -212,6 +230,9 @@ class SMCore:
             self._sample_occupancy(now)
         if issued == 0:
             self._classify_idle(now)
+        if self.sanitizer is not None:
+            self.sanitizer.check_sm(self, now)
+        return issued
 
     def _sample_occupancy(self, now: int) -> None:
         manager = self.manager

@@ -80,3 +80,129 @@ def test_unknown_benchmark(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+# -- robustness surface ------------------------------------------------------
+
+
+@pytest.mark.parametrize("bad", [
+    ("run", "vecadd", "--scale", "0"),
+    ("run", "vecadd", "--scale", "-1"),
+    ("run", "vecadd", "--sms", "0"),
+    ("compare", "vecadd", "--scale", "0"),
+    ("doctor", "--scale", "-0.5"),
+    ("run", "vecadd", "--max-cycles", "0"),
+])
+def test_invalid_arguments_rejected_at_parse_time(capsys, bad):
+    with pytest.raises(SystemExit) as excinfo:
+        main(list(bad))
+    assert excinfo.value.code == 2
+    assert "must be" in capsys.readouterr().err
+
+
+def test_run_with_sanitizer(capsys):
+    code, out, _err = run_cli(capsys, "run", "vecadd", "--scale", "0.25",
+                              "--sms", "1", "--sanitize")
+    assert code == 0
+    assert "IPC" in out
+
+
+def test_timeout_is_friendly_and_writes_dump(capsys):
+    code, _out, err = run_cli(capsys, "run", "vecadd", "--scale", "0.25",
+                              "--sms", "1", "--max-cycles", "100")
+    assert code == 1
+    assert "simulation timeout" in err
+    assert "Traceback" not in err
+    assert "diagnostic dump written to" in err
+    path = err.rsplit("diagnostic dump written to ", 1)[1].strip()
+    with open(path) as handle:
+        assert "deadlock forensics" in handle.read()
+
+
+def test_value_error_is_friendly(capsys, monkeypatch):
+    import repro.cli
+
+    def boom(*args, **kwargs):
+        raise ValueError("boom")
+
+    monkeypatch.setattr(repro.cli, "run_benchmark", boom)
+    code, _out, err = run_cli(capsys, "run", "vecadd", "--scale", "0.25")
+    assert code == 1
+    assert err.strip() == "error: boom"
+
+
+def test_invariant_violation_is_friendly(capsys, monkeypatch):
+    import repro.cli
+    from repro.sim.sanitizer import InvariantViolation
+
+    def boom(*args, **kwargs):
+        raise InvariantViolation("register-capacity", "too many", sm_id=0, cycle=9)
+
+    monkeypatch.setattr(repro.cli, "run_benchmark", boom)
+    code, _out, err = run_cli(capsys, "run", "vecadd")
+    assert code == 1
+    assert "invariant violation" in err
+    assert "register-capacity" in err
+
+
+def test_doctor_smoke(capsys):
+    code, out, _err = run_cli(capsys, "doctor", "--scale", "0.1",
+                              "--benchmark", "vecadd", "--benchmark", "stride")
+    assert code == 0
+    assert "vecadd" in out and "stride" in out
+    assert "cells clean" in out
+
+
+def test_doctor_exit_code_on_failure(capsys, monkeypatch):
+    from repro.sim.gpu import SimulationTimeout
+
+    def always_timeout(*args, **kwargs):
+        raise SimulationTimeout("injected", dump=None)
+
+    monkeypatch.setattr("repro.analysis.runner.run_benchmark", always_timeout)
+    code, out, _err = run_cli(capsys, "doctor", "--scale", "0.1",
+                              "--benchmark", "vecadd")
+    assert code == 1
+    assert "FAILED(timeout)" in out
+
+
+def test_experiment_e5_renders(capsys):
+    code, out, _err = run_cli(capsys, "experiment", "e5", "--scale", "0.1")
+    assert code == 0
+    assert "speedup" in out
+
+
+def test_experiment_keep_going_renders_partial(capsys, monkeypatch):
+    import repro.analysis.runner as runner_mod
+    from repro.sim.gpu import ProgressDeadlock
+
+    real = runner_mod.run_benchmark
+
+    def flaky(bench, cfg, *args, **kwargs):
+        if bench.name == "vecadd" and cfg.arch == "vt":
+            raise ProgressDeadlock("injected hang", dump="dump text")
+        return real(bench, cfg, *args, **kwargs)
+
+    monkeypatch.setattr(runner_mod, "run_benchmark", flaky)
+    code, out, _err = run_cli(capsys, "experiment", "e5", "--scale", "0.1")
+    assert code == 0  # keep-going: the sweep survives the poisoned cell
+    assert "FAILED(deadlock)" in out
+    assert "failed cells" in out
+
+
+def test_experiment_strict_propagates_failure(capsys, monkeypatch):
+    import repro.analysis.runner as runner_mod
+    from repro.sim.gpu import ProgressDeadlock
+
+    real = runner_mod.run_benchmark
+
+    def flaky(bench, cfg, *args, **kwargs):
+        if bench.name == "vecadd" and cfg.arch == "vt":
+            raise ProgressDeadlock("injected hang", dump="dump text")
+        return real(bench, cfg, *args, **kwargs)
+
+    monkeypatch.setattr(runner_mod, "run_benchmark", flaky)
+    code, _out, err = run_cli(capsys, "experiment", "e5", "--scale", "0.1",
+                              "--strict")
+    assert code == 1
+    assert "simulation deadlock" in err

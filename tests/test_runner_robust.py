@@ -1,0 +1,136 @@
+"""Crash tolerance of the experiment harness: a poisoned cell must not
+take down a sweep, tight-budget timeouts get one retry, and partial
+results still render."""
+
+import pytest
+
+from repro.analysis.experiments import doctor_report, e5_speedup
+from repro.analysis.runner import (
+    STATUSES,
+    run_benchmark,
+    run_benchmark_safe,
+    run_matrix,
+)
+from repro.kernels import get
+from repro.kernels.base import Benchmark
+from repro.sim.config import scaled_fermi
+from repro.sim.faults import FaultPlan
+from repro.sim.gpu import SimulationTimeout
+
+
+def _poisoned(name="poisoned"):
+    """A benchmark whose workload factory explodes."""
+    def prepare(scale):
+        raise RuntimeError("workload generator exploded")
+
+    return Benchmark(name=name, suite="synthetic",
+                     description="always fails to prepare", category="compute",
+                     kernel=get("vecadd").kernel, prepare=prepare)
+
+
+@pytest.fixture
+def cfg():
+    return scaled_fermi(num_sms=1)
+
+
+def test_run_benchmark_safe_captures_errors(cfg):
+    record = run_benchmark_safe(_poisoned(), cfg, scale=0.25)
+    assert not record.ok
+    assert record.status == "error"
+    assert "workload generator exploded" in record.error
+    assert record.failure == "FAILED(error)"
+    with pytest.raises(RuntimeError, match="poisoned"):
+        _ = record.cycles
+
+
+def test_run_benchmark_still_raises(cfg):
+    with pytest.raises(RuntimeError, match="exploded"):
+        run_benchmark(_poisoned(), cfg, scale=0.25)
+
+
+def test_timeout_retried_once_with_doubled_budget(cfg):
+    bench = get("vecadd")
+    full = run_benchmark(bench, cfg, scale=0.25)
+    tight = int(full.cycles * 0.75)
+    # The first attempt times out; the retry at 2x the budget completes.
+    record = run_benchmark_safe(bench, cfg, scale=0.25, max_cycles=tight)
+    assert record.retried
+    assert record.ok
+    assert record.cycles == full.cycles
+
+
+def test_hopeless_timeout_stays_failed(cfg):
+    bench = get("vecadd")
+    record = run_benchmark_safe(bench, cfg, scale=0.25, max_cycles=100)
+    assert record.retried
+    assert record.status == "timeout"
+    assert record.status in STATUSES
+    assert record.dump is not None
+
+
+def test_deadlock_not_retried(cfg):
+    bench = get("vecadd")
+    plan = FaultPlan(stall_warp=(0, 0, 0), stall_at_cycle=50)
+    record = run_benchmark_safe(
+        bench, cfg.with_(progress_window=1500), scale=0.25, faults=plan)
+    assert record.status == "deadlock"
+    assert not record.retried
+    assert record.dump is not None
+
+
+def test_retry_can_be_disabled(cfg):
+    bench = get("vecadd")
+    record = run_benchmark_safe(bench, cfg, scale=0.25, max_cycles=100,
+                                retry_timeouts=False)
+    assert record.status == "timeout"
+    assert not record.retried
+
+
+def test_matrix_keeps_going_past_poison(cfg):
+    benches = [get("vecadd"), _poisoned(), get("saxpy")]
+    records = run_matrix(benches, ["baseline", "vt"], cfg, scale=0.25,
+                         keep_going=True)
+    assert len(records) == 6
+    assert records[("vecadd", "baseline")].ok
+    assert records[("saxpy", "vt")].ok
+    assert records[("poisoned", "baseline")].status == "error"
+    assert records[("poisoned", "vt")].status == "error"
+
+
+def test_matrix_strict_raises_on_poison(cfg):
+    with pytest.raises(RuntimeError, match="exploded"):
+        run_matrix([_poisoned()], ["baseline"], cfg, scale=0.25)
+
+
+def test_e5_renders_partial_table_with_failed_cells():
+    benches = [get("vecadd"), _poisoned()]
+    report, data = e5_speedup(scale=0.25, benches=benches)
+    assert "FAILED(error)" in report
+    assert "failed cells" in report
+    assert "vecadd" in report
+    # Failures keyed by benchmark, then by the arch(s) that failed.
+    assert set(data["failures"]) == {"poisoned"}
+    assert set(data["failures"]["poisoned"]) == {"baseline", "vt", "ideal-sched"}
+    # The healthy benchmark still contributes speedup statistics.
+    assert "vecadd" in data["vt"]
+
+
+def test_e5_strict_mode_raises():
+    with pytest.raises(RuntimeError, match="exploded"):
+        e5_speedup(scale=0.25, benches=[_poisoned()], keep_going=False)
+
+
+def test_doctor_reports_failures():
+    report, data = doctor_report(scale=0.25, benches=["vecadd"])
+    assert "ok (" in report
+    assert not data["failures"]
+
+
+def test_doctor_flags_unhealthy_cell(monkeypatch):
+    def always_timeout(*args, **kwargs):
+        raise SimulationTimeout("injected for test", dump="dump text")
+
+    monkeypatch.setattr("repro.analysis.runner.run_benchmark", always_timeout)
+    report, data = doctor_report(scale=0.25, benches=["vecadd"])
+    assert "FAILED(timeout)" in report
+    assert data["failures"]

@@ -1,0 +1,153 @@
+"""The per-cycle invariant sanitizer: clean runs stay clean, corruption
+is caught the cycle it happens."""
+
+import pytest
+
+from repro.kernels import get
+from repro.sim.config import scaled_fermi
+from repro.sim.cta import CTAState
+from repro.sim.gpu import GPU
+from repro.sim.sanitizer import InvariantViolation, Sanitizer
+from repro.sim.smcore import SMCore
+
+
+def _run(bench_name: str, arch: str, scale: float = 0.25, **overrides):
+    bench = get(bench_name)
+    prep = bench.prepare(scale)
+    cfg = scaled_fermi(num_sms=1, arch=arch, sanitize=True, **overrides)
+    gpu = GPU(cfg)
+    result = gpu.launch(bench.kernel, prep.grid_dim, prep.gmem, prep.params)
+    prep.check(result)
+    return result
+
+
+@pytest.mark.parametrize("arch", ["baseline", "vt", "ideal-sched"])
+@pytest.mark.parametrize("name", ["stride", "reduction", "histogram", "mm_tiled"])
+def test_clean_runs_pass_sanitizer(name, arch):
+    result = _run(name, arch)
+    assert result.stats.cycles > 0
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("arch", ["baseline", "vt", "ideal-sched"])
+def test_whole_suite_clean_under_sanitizer(arch):
+    """Acceptance sweep: every registered benchmark runs clean with the
+    sanitizer enabled under this architecture."""
+    from repro.kernels.registry import all_benchmarks
+
+    for bench in all_benchmarks():
+        prep = bench.prepare(0.25)
+        gpu = GPU(scaled_fermi(num_sms=1, arch=arch, sanitize=True))
+        result = gpu.launch(bench.kernel, prep.grid_dim, prep.gmem, prep.params)
+        prep.check(result)
+
+
+def test_sanitizer_runs_every_cycle(monkeypatch):
+    """The checker is really invoked per (non-idle) SM cycle."""
+    seen = []
+    original = Sanitizer.check_sm
+
+    def spying(self, sm, now):
+        seen.append(now)
+        original(self, sm, now)
+
+    monkeypatch.setattr(Sanitizer, "check_sm", spying)
+    result = _run("stride", "vt")
+    assert len(seen) > 1000
+    assert result.stats.cycles >= len(seen) - 1
+
+
+def _launch_corrupted(corruption, arch="baseline", bench_name="vecadd",
+                      scale=0.25):
+    """Run with a step hook that corrupts SM state mid-flight; the
+    sanitizer must notice.  ``corruption`` may return False to say "not
+    applicable this cycle, try again later" (e.g. waiting for a CTA to
+    reach a particular state)."""
+    bench = get(bench_name)
+    prep = bench.prepare(scale)
+    cfg = scaled_fermi(num_sms=1, arch=arch, sanitize=True)
+    gpu = GPU(cfg)
+
+    original_step = SMCore.step
+    fired = []
+
+    def corrupting_step(self, now):
+        if now >= 200 and not fired:
+            if corruption(self) is not False:
+                fired.append(now)
+        return original_step(self, now)
+
+    SMCore.step = corrupting_step
+    try:
+        with pytest.raises(InvariantViolation) as excinfo:
+            gpu.launch(bench.kernel, prep.grid_dim, prep.gmem, prep.params)
+    finally:
+        SMCore.step = original_step
+    assert fired, "corruption hook never ran; test is vacuous"
+    return excinfo.value
+
+
+def test_detects_register_leak():
+    exc = _launch_corrupted(lambda sm: setattr(
+        sm.manager.resources, "regs_used", sm.manager.resources.regs_used + 64))
+    assert exc.invariant == "capacity-accounting"
+    assert exc.sm_id == 0
+    assert exc.cycle == 200
+
+
+def test_detects_double_release():
+    def corrupt(sm):
+        sm.manager.resources.release(sm.manager.resident[0])
+
+    exc = _launch_corrupted(corrupt)
+    assert exc.invariant in ("capacity-accounting", "slot-accounting")
+
+
+def test_detects_smem_overcommit():
+    exc = _launch_corrupted(lambda sm: setattr(
+        sm.manager.resources, "smem_used", sm.cfg.smem_per_sm + 1))
+    # Accounting disagreement is noticed before the capacity ceiling.
+    assert exc.invariant in ("capacity-accounting", "smem-capacity")
+
+
+def test_detects_illegal_vt_edge():
+    def corrupt(sm):
+        for cta in sm.manager.resident:
+            if cta.state is CTAState.ACTIVE:
+                cta.state = CTAState.SWAP_IN  # ACTIVE -> SWAP_IN: illegal
+                return None
+        return False
+
+    exc = _launch_corrupted(corrupt, arch="vt", bench_name="stride")
+    assert exc.invariant in ("state-machine", "swap-engine")
+
+
+def test_detects_orphaned_swap_state():
+    def corrupt(sm):
+        for cta in sm.manager.resident:
+            if cta.state is CTAState.INACTIVE:
+                cta.state = CTAState.SWAP_IN  # legal edge, but no engine entry
+                return None
+        return False  # wait for a cycle where an INACTIVE CTA exists
+
+    exc = _launch_corrupted(corrupt, arch="vt", bench_name="stride", scale=0.5)
+    assert exc.invariant == "swap-engine"
+
+
+def test_detects_scoreboard_leak():
+    from repro.sim.faults import NEVER
+
+    def corrupt(sm):
+        warp = sm.manager.resident[0].warps[0]
+        warp.scoreboard.set_pending(0, NEVER, True)
+
+    exc = _launch_corrupted(corrupt)
+    assert exc.invariant == "scoreboard-liveness"
+
+
+def test_violation_is_structured():
+    exc = InvariantViolation("register-capacity", "boom", sm_id=3, cycle=77,
+                             resource="registers")
+    assert exc.sm_id == 3 and exc.cycle == 77
+    assert exc.invariant == "register-capacity"
+    assert "sm3" in str(exc) and "77" in str(exc)
