@@ -7,6 +7,18 @@ under ``benchmarks/`` call straight into them.
 """
 
 from repro.analysis.geomean import geomean, speedup_summary
+from repro.analysis.journal import (
+    Journal,
+    cell_fingerprint,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.analysis.orchestrator import (
+    SweepCell,
+    SweepResult,
+    matrix_cells,
+    run_sweep,
+)
 from repro.analysis.runner import (
     RunRecord,
     run_benchmark,
@@ -19,6 +31,14 @@ from repro.analysis.tables import ascii_bars, format_table
 __all__ = [
     "geomean",
     "speedup_summary",
+    "Journal",
+    "cell_fingerprint",
+    "record_to_dict",
+    "record_from_dict",
+    "SweepCell",
+    "SweepResult",
+    "matrix_cells",
+    "run_sweep",
     "RunRecord",
     "run_benchmark",
     "run_benchmark_safe",

@@ -7,6 +7,13 @@ benchmark harness can assert the reproduction's shape claims.
 
 All experiments default to the 2-SM scaled Fermi configuration; ``scale``
 shrinks or grows every workload's grid for quick runs.
+
+Every experiment that simulates enumerates its runs up front and collects
+them through :func:`_run_cells`, so the same experiment can execute
+serially in-process (the default) or through the subprocess sweep
+orchestrator (``jobs``/``sweep_dir``; see
+:mod:`repro.analysis.orchestrator`) with per-cell isolation, wall-clock
+deadlines, retries, and journal/resume.
 """
 
 from __future__ import annotations
@@ -29,6 +36,39 @@ ARCHS = (ArchMode.BASELINE, ArchMode.VT, ArchMode.IDEAL_SCHED)
 
 def default_config(**overrides) -> GPUConfig:
     return scaled_fermi(num_sms=2, **overrides)
+
+
+def _run_cells(runs, *, jobs=None, sweep_dir=None, resume=False,
+               wall_timeout=None, retries=1):
+    """Collect one experiment's simulation runs.
+
+    ``runs`` maps an arbitrary hashable key to ``(bench, cfg, scale)``.
+    Serially (``jobs``/``sweep_dir`` unset) each run executes in-process
+    via :func:`run_benchmark`, raising on the first failure — the
+    historical strict behaviour.  With ``jobs`` or ``sweep_dir`` the whole
+    set goes through the subprocess orchestrator: isolated workers,
+    wall-clock deadlines, per-status retries, journal/resume.  A cell that
+    still fails terminally raises when the experiment reads its
+    ``.cycles``, so a half-broken sweep cannot silently produce a table
+    built on missing numbers.
+    """
+    if jobs is None and sweep_dir is None:
+        return {key: run_benchmark(bench, cfg, scale)
+                for key, (bench, cfg, scale) in runs.items()}
+    from repro.analysis.orchestrator import SweepCell, run_sweep
+
+    cells = [SweepCell(bench.name, cfg, scale, key=key)
+             for key, (bench, cfg, scale) in runs.items()]
+    result = run_sweep(cells, jobs=jobs or 1, wall_timeout=wall_timeout,
+                       retries=retries, journal_dir=sweep_dir, resume=resume)
+    return result.records
+
+
+def _cycles_cell(record) -> str | int:
+    """A cycles table cell; ``NNN*`` marks a run that needed a retry."""
+    if not record.ok:
+        return record.failure
+    return f"{record.cycles}*" if record.retried else record.cycles
 
 
 # ---------------------------------------------------------------------------
@@ -116,13 +156,16 @@ def e3_cta_residency(cfg: GPUConfig | None = None):
 # E4 — motivation: idle-cycle breakdown on the baseline
 # ---------------------------------------------------------------------------
 
-def e4_idle_cycles(cfg: GPUConfig | None = None, scale: float = 1.0):
+def e4_idle_cycles(cfg: GPUConfig | None = None, scale: float = 1.0,
+                   jobs: int | None = None, sweep_dir=None):
     """Motivation figure: fraction of SM cycles with zero issue, by cause."""
     cfg = (cfg or default_config()).with_(arch=ArchMode.BASELINE)
+    records = _run_cells({b.name: (b, cfg, scale) for b in all_benchmarks()},
+                         jobs=jobs, sweep_dir=sweep_dir)
     rows = []
     data = {}
     for bench in all_benchmarks():
-        record = run_benchmark(bench, cfg, scale)
+        record = records[bench.name]
         breakdown = record.stats.idle_breakdown()
         rows.append((
             bench.name,
@@ -147,17 +190,21 @@ def e4_idle_cycles(cfg: GPUConfig | None = None, scale: float = 1.0):
 # ---------------------------------------------------------------------------
 
 def e5_speedup(cfg: GPUConfig | None = None, scale: float = 1.0,
-               benches=None, keep_going: bool = True):
+               benches=None, keep_going: bool = True,
+               jobs: int | None = None, sweep_dir=None):
     """The headline figure: per-benchmark IPC normalized to baseline.
 
     With ``keep_going`` (default) a failing (bench, arch) cell renders as
     ``FAILED(<reason>)`` and is excluded from the speedup statistics, so
     the rest of the table survives one broken run; ``keep_going=False``
-    restores the historical first-failure-raises behaviour.
+    restores the historical first-failure-raises behaviour.  A cycles cell
+    rendered as ``NNN*`` completed only after a retry.  ``jobs`` /
+    ``sweep_dir`` route the matrix through the subprocess orchestrator.
     """
     base_cfg = cfg or default_config()
     benches = list(benches) if benches is not None else all_benchmarks()
-    records = run_matrix(benches, ARCHS, base_cfg, scale, keep_going=keep_going)
+    records = run_matrix(benches, ARCHS, base_cfg, scale, keep_going=keep_going,
+                         parallel=jobs, journal_dir=sweep_dir)
     rows = []
     vt_speedups = {}
     ideal_speedups = {}
@@ -170,8 +217,7 @@ def e5_speedup(cfg: GPUConfig | None = None, scale: float = 1.0,
             }
             rows.append((
                 bench.name,
-                *(record.cycles if record.ok else record.failure
-                  for record in by_arch.values()),
+                *(_cycles_cell(record) for record in by_arch.values()),
                 "-", "-", "-",
             ))
             continue
@@ -180,7 +226,8 @@ def e5_speedup(cfg: GPUConfig | None = None, scale: float = 1.0,
         ideal = by_arch[ArchMode.IDEAL_SCHED].cycles
         vt_speedups[bench.name] = base / vt
         ideal_speedups[bench.name] = base / ideal
-        rows.append((bench.name, base, vt, ideal,
+        rows.append((bench.name,
+                     *(_cycles_cell(by_arch[a]) for a in ARCHS),
                      f"x{base / vt:.3f}", f"x{base / ideal:.3f}",
                      by_arch[ArchMode.VT].stats.total_swaps))
     table = format_table(
@@ -189,6 +236,8 @@ def e5_speedup(cfg: GPUConfig | None = None, scale: float = 1.0,
         title="E5 - speedup over baseline (paper: VT avg +23.9%)",
     )
     parts = [table]
+    if any(record.retried for record in records.values()):
+        parts.append("(* = completed only after a retry)")
     if failures:
         parts.append("")
         parts.append("failed cells (excluded from the statistics):")
@@ -226,14 +275,22 @@ def e5_speedup(cfg: GPUConfig | None = None, scale: float = 1.0,
 # E6 — TLP: schedulable warps over time, baseline vs VT
 # ---------------------------------------------------------------------------
 
-def e6_tlp(cfg: GPUConfig | None = None, scale: float = 1.0):
+def e6_tlp(cfg: GPUConfig | None = None, scale: float = 1.0,
+           jobs: int | None = None, sweep_dir=None):
     """How much thread-level parallelism VT exposes to the SM."""
     base_cfg = cfg or default_config()
+    runs = {}
+    for bench in all_benchmarks():
+        runs[(bench.name, ArchMode.BASELINE)] = (
+            bench, base_cfg.with_(arch=ArchMode.BASELINE), scale)
+        runs[(bench.name, ArchMode.VT)] = (
+            bench, base_cfg.with_(arch=ArchMode.VT), scale)
+    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir)
     rows = []
     data = {}
     for bench in all_benchmarks():
-        base = run_benchmark(bench, base_cfg.with_(arch=ArchMode.BASELINE), scale)
-        vt = run_benchmark(bench, base_cfg.with_(arch=ArchMode.VT), scale)
+        base = records[(bench.name, ArchMode.BASELINE)]
+        vt = records[(bench.name, ArchMode.VT)]
         rows.append((
             bench.name,
             f"{base.stats.avg_resident_warps:.1f}",
@@ -264,7 +321,8 @@ SWAP_LATENCY_POINTS = ((0, 0), (2, 1), (8, 4), (32, 16), (128, 64))
 
 
 def e7_swap_latency(cfg: GPUConfig | None = None, scale: float = 1.0,
-                    points=SWAP_LATENCY_POINTS, subset=SWEEP_SUBSET):
+                    points=SWAP_LATENCY_POINTS, subset=SWEEP_SUBSET,
+                    jobs: int | None = None, sweep_dir=None):
     """VT speedup as the swap save/restore cost scales.
 
     The paper's claim: because only scheduling state moves, swaps cost a
@@ -273,20 +331,23 @@ def e7_swap_latency(cfg: GPUConfig | None = None, scale: float = 1.0,
     """
     base_cfg = cfg or default_config()
     benches = [get(name) for name in subset]
-    baselines = {
-        b.name: run_benchmark(b, base_cfg.with_(arch=ArchMode.BASELINE), scale).cycles
-        for b in benches
-    }
-    rows = []
-    data = {}
+    runs = {("base", b.name): (b, base_cfg.with_(arch=ArchMode.BASELINE), scale)
+            for b in benches}
     for base_cost, per_warp in points:
         vt_cfg = base_cfg.with_(
             arch=ArchMode.VT,
             vt_swap_out_base=base_cost, vt_swap_out_per_warp=per_warp,
             vt_swap_in_base=base_cost, vt_swap_in_per_warp=per_warp,
         )
+        for b in benches:
+            runs[((base_cost, per_warp), b.name)] = (b, vt_cfg, scale)
+    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir)
+    baselines = {b.name: records[("base", b.name)].cycles for b in benches}
+    rows = []
+    data = {}
+    for base_cost, per_warp in points:
         speedups = {
-            b.name: baselines[b.name] / run_benchmark(b, vt_cfg, scale).cycles
+            b.name: baselines[b.name] / records[((base_cost, per_warp), b.name)].cycles
             for b in benches
         }
         label = f"save/restore {base_cost}+{per_warp}/warp"
@@ -306,21 +367,25 @@ def e7_swap_latency(cfg: GPUConfig | None = None, scale: float = 1.0,
 # ---------------------------------------------------------------------------
 
 def e8_vcta_degree(cfg: GPUConfig | None = None, scale: float = 1.0,
-                   multipliers=(1.0, 1.5, 2.0, 3.0, 4.0), subset=SWEEP_SUBSET):
+                   multipliers=(1.0, 1.5, 2.0, 3.0, 4.0), subset=SWEEP_SUBSET,
+                   jobs: int | None = None, sweep_dir=None):
     """VT speedup as the resident-CTA provisioning grows (1x = no virtual
     CTAs, so VT must degenerate to baseline behaviour)."""
     base_cfg = cfg or default_config()
     benches = [get(name) for name in subset]
-    baselines = {
-        b.name: run_benchmark(b, base_cfg.with_(arch=ArchMode.BASELINE), scale).cycles
-        for b in benches
-    }
+    runs = {("base", b.name): (b, base_cfg.with_(arch=ArchMode.BASELINE), scale)
+            for b in benches}
+    for mult in multipliers:
+        vt_cfg = base_cfg.with_(arch=ArchMode.VT, vt_max_resident_multiplier=mult)
+        for b in benches:
+            runs[(mult, b.name)] = (b, vt_cfg, scale)
+    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir)
+    baselines = {b.name: records[("base", b.name)].cycles for b in benches}
     rows = []
     data = {}
     for mult in multipliers:
-        vt_cfg = base_cfg.with_(arch=ArchMode.VT, vt_max_resident_multiplier=mult)
         speedups = {
-            b.name: baselines[b.name] / run_benchmark(b, vt_cfg, scale).cycles
+            b.name: baselines[b.name] / records[(mult, b.name)].cycles
             for b in benches
         }
         gm = geomean(speedups.values())
@@ -339,18 +404,26 @@ def e8_vcta_degree(cfg: GPUConfig | None = None, scale: float = 1.0,
 # ---------------------------------------------------------------------------
 
 def e9_schedulers(cfg: GPUConfig | None = None, scale: float = 1.0,
-                  schedulers=("lrr", "gto", "two-level"), subset=SWEEP_SUBSET):
+                  schedulers=("lrr", "gto", "two-level"), subset=SWEEP_SUBSET,
+                  jobs: int | None = None, sweep_dir=None):
     """VT's gain under different warp-scheduling policies."""
     base_cfg = cfg or default_config()
     benches = [get(name) for name in subset]
+    runs = {}
+    for policy in schedulers:
+        pol_cfg = base_cfg.with_(warp_scheduler=policy)
+        for bench in benches:
+            for arch in (ArchMode.BASELINE, ArchMode.VT):
+                runs[(policy, bench.name, arch)] = (
+                    bench, pol_cfg.with_(arch=arch), scale)
+    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir)
     rows = []
     data = {}
     for policy in schedulers:
-        pol_cfg = base_cfg.with_(warp_scheduler=policy)
         speedups = {}
         for bench in benches:
-            base = run_benchmark(bench, pol_cfg.with_(arch=ArchMode.BASELINE), scale).cycles
-            vt = run_benchmark(bench, pol_cfg.with_(arch=ArchMode.VT), scale).cycles
+            base = records[(policy, bench.name, ArchMode.BASELINE)].cycles
+            vt = records[(policy, bench.name, ArchMode.VT)].cycles
             speedups[bench.name] = base / vt
         gm = geomean(speedups.values())
         data[policy] = {"speedups": speedups, "geomean": gm}
@@ -368,18 +441,26 @@ def e9_schedulers(cfg: GPUConfig | None = None, scale: float = 1.0,
 # ---------------------------------------------------------------------------
 
 def e10_mem_latency(cfg: GPUConfig | None = None, scale: float = 1.0,
-                    latencies=(200, 400, 600, 800), subset=SWEEP_SUBSET):
+                    latencies=(200, 400, 600, 800), subset=SWEEP_SUBSET,
+                    jobs: int | None = None, sweep_dir=None):
     """VT's gain should grow with memory latency (more to hide)."""
     base_cfg = cfg or default_config()
     benches = [get(name) for name in subset]
+    runs = {}
+    for latency in latencies:
+        lat_cfg = base_cfg.with_(dram_latency=latency)
+        for bench in benches:
+            for arch in (ArchMode.BASELINE, ArchMode.VT):
+                runs[(latency, bench.name, arch)] = (
+                    bench, lat_cfg.with_(arch=arch), scale)
+    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir)
     rows = []
     data = {}
     for latency in latencies:
-        lat_cfg = base_cfg.with_(dram_latency=latency)
         speedups = {}
         for bench in benches:
-            base = run_benchmark(bench, lat_cfg.with_(arch=ArchMode.BASELINE), scale).cycles
-            vt = run_benchmark(bench, lat_cfg.with_(arch=ArchMode.VT), scale).cycles
+            base = records[(latency, bench.name, ArchMode.BASELINE)].cycles
+            vt = records[(latency, bench.name, ArchMode.VT)].cycles
             speedups[bench.name] = base / vt
         gm = geomean(speedups.values())
         data[latency] = {"speedups": speedups, "geomean": gm}
@@ -409,14 +490,11 @@ def e11_overhead(cfg: GPUConfig | None = None):
 # E12 — ablation: swap trigger and selection policies
 # ---------------------------------------------------------------------------
 
-def e12_ablation(cfg: GPUConfig | None = None, scale: float = 1.0, subset=SWEEP_SUBSET):
+def e12_ablation(cfg: GPUConfig | None = None, scale: float = 1.0, subset=SWEEP_SUBSET,
+                 jobs: int | None = None, sweep_dir=None):
     """Design-choice ablation for the swap trigger and victim selection."""
     base_cfg = cfg or default_config()
     benches = [get(name) for name in subset]
-    baselines = {
-        b.name: run_benchmark(b, base_cfg.with_(arch=ArchMode.BASELINE), scale).cycles
-        for b in benches
-    }
     variants = [
         ("all-stalled / oldest-ready (paper)", dict(vt_trigger_policy="all-stalled",
                                                     vt_select_policy="oldest-ready")),
@@ -427,14 +505,21 @@ def e12_ablation(cfg: GPUConfig | None = None, scale: float = 1.0, subset=SWEEP_
         ("timeout(16) / oldest-ready", dict(vt_trigger_policy="timeout",
                                             vt_select_policy="oldest-ready")),
     ]
-    rows = []
-    data = {}
+    runs = {("base", b.name): (b, base_cfg.with_(arch=ArchMode.BASELINE), scale)
+            for b in benches}
     for label, overrides in variants:
         vt_cfg = base_cfg.with_(arch=ArchMode.VT, **overrides)
+        for b in benches:
+            runs[(label, b.name)] = (b, vt_cfg, scale)
+    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir)
+    baselines = {b.name: records[("base", b.name)].cycles for b in benches}
+    rows = []
+    data = {}
+    for label, _overrides in variants:
         speedups = {}
         swaps = 0
         for bench in benches:
-            record = run_benchmark(bench, vt_cfg, scale)
+            record = records[(label, bench.name)]
             speedups[bench.name] = baselines[bench.name] / record.cycles
             swaps += record.stats.total_swaps
         gm = geomean(speedups.values())
@@ -452,7 +537,8 @@ def e12_ablation(cfg: GPUConfig | None = None, scale: float = 1.0, subset=SWEEP_
 # X1 — extension (beyond the paper): oversubscription cache contention
 # ---------------------------------------------------------------------------
 
-def x1_contention(cfg: GPUConfig | None = None, scale: float = 1.0, bench_name: str = "spmv"):
+def x1_contention(cfg: GPUConfig | None = None, scale: float = 1.0, bench_name: str = "spmv",
+                  jobs: int | None = None, sweep_dir=None):
     """Diagnose the one VT regression in E5 and evaluate a mitigation.
 
     spmv loses under VT because rotating the active set through more CTAs
@@ -473,11 +559,14 @@ def x1_contention(cfg: GPUConfig | None = None, scale: float = 1.0, bench_name: 
         ("baseline, 48K L1", base_cfg.with_(arch=ArchMode.BASELINE, l1_size=49152)),
         ("vt, 48K L1", base_cfg.with_(arch=ArchMode.VT, l1_size=49152)),
     ]
+    records = _run_cells({label: (bench, variant_cfg, scale)
+                          for label, variant_cfg in variants},
+                         jobs=jobs, sweep_dir=sweep_dir)
     rows = []
     data = {}
     base_cycles = None
-    for label, variant_cfg in variants:
-        record = run_benchmark(bench, variant_cfg, scale)
+    for label, _variant_cfg in variants:
+        record = records[label]
         stats = record.stats
         if base_cycles is None:
             base_cycles = stats.cycles
@@ -501,7 +590,8 @@ def x1_contention(cfg: GPUConfig | None = None, scale: float = 1.0, bench_name: 
 # X2 — extension (beyond the paper): does VT generalize to a Kepler-class SM?
 # ---------------------------------------------------------------------------
 
-def x2_kepler(cfg: GPUConfig | None = None, scale: float = 2.0, subset=SWEEP_SUBSET):
+def x2_kepler(cfg: GPUConfig | None = None, scale: float = 2.0, subset=SWEEP_SUBSET,
+              jobs: int | None = None, sweep_dir=None):
     """VT gain on a Kepler-class SM (64 warps / 16 CTAs / 2x register file).
 
     Kepler relaxes Fermi's scheduling limits but also doubles capacity, so
@@ -515,12 +605,17 @@ def x2_kepler(cfg: GPUConfig | None = None, scale: float = 2.0, subset=SWEEP_SUB
     # larger before the scheduling limit binds; hence the 2x default scale.
     kepler = (cfg or scaled_kepler(num_sms=2))
     benches = [get(name) for name in subset]
+    runs = {}
+    for bench in benches:
+        for arch in (ArchMode.BASELINE, ArchMode.VT):
+            runs[(bench.name, arch)] = (bench, kepler.with_(arch=arch), scale)
+    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir)
     rows = []
     data = {}
     for bench in benches:
         occ = occupancy(bench.kernel, kepler)
-        base = run_benchmark(bench, kepler.with_(arch=ArchMode.BASELINE), scale)
-        vt = run_benchmark(bench, kepler.with_(arch=ArchMode.VT), scale)
+        base = records[(bench.name, ArchMode.BASELINE)]
+        vt = records[(bench.name, ArchMode.VT)]
         speedup = base.cycles / vt.cycles
         data[bench.name] = {
             "speedup": speedup,
@@ -544,7 +639,8 @@ def x2_kepler(cfg: GPUConfig | None = None, scale: float = 2.0, subset=SWEEP_SUB
 # ---------------------------------------------------------------------------
 
 def x3_full_chip(cfg: GPUConfig | None = None, scale: float = 1.0,
-                 subset=("stride", "streamcluster", "kmeans")):
+                 subset=("stride", "streamcluster", "kmeans"),
+                 jobs: int | None = None, sweep_dir=None):
     """VT speedups on the full 15-SM chip vs the scaled 2-SM default.
 
     The harness runs everything on a scaled-down chip for tractability;
@@ -557,17 +653,22 @@ def x3_full_chip(cfg: GPUConfig | None = None, scale: float = 1.0,
 
     full = fermi_config()
     ratio = full.num_sms / small.num_sms
+    chips = (("scaled", small, scale), ("full", full, scale * ratio))
+    runs = {}
+    for name in subset:
+        bench = get(name)
+        for label, chip_cfg, chip_scale in chips:
+            for arch in (ArchMode.BASELINE, ArchMode.VT):
+                runs[(name, label, arch)] = (
+                    bench, chip_cfg.with_(arch=arch), chip_scale)
+    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir)
     rows = []
     data = {}
     for name in subset:
-        bench = get(name)
         speedups = {}
-        for label, chip_cfg, chip_scale in (
-            ("scaled", small, scale),
-            ("full", full, scale * ratio),
-        ):
-            base = run_benchmark(bench, chip_cfg.with_(arch=ArchMode.BASELINE), chip_scale)
-            vt = run_benchmark(bench, chip_cfg.with_(arch=ArchMode.VT), chip_scale)
+        for label, _chip_cfg, _chip_scale in chips:
+            base = records[(name, label, ArchMode.BASELINE)]
+            vt = records[(name, label, ArchMode.VT)]
             speedups[label] = base.cycles / vt.cycles
         gap = abs(speedups["full"] - speedups["scaled"]) / speedups["scaled"]
         data[name] = {**speedups, "gap": gap}
@@ -585,21 +686,24 @@ def x3_full_chip(cfg: GPUConfig | None = None, scale: float = 1.0,
 # doctor — sanitizer-on smoke sweep (the `repro doctor` subcommand)
 # ---------------------------------------------------------------------------
 
-def doctor_report(scale: float = 0.25, sms: int = 1, benches=None, archs=ARCHS):
+def doctor_report(scale: float = 0.25, sms: int = 1, benches=None, archs=ARCHS,
+                  jobs: int | None = None, sweep_dir=None):
     """Quick health sweep: every benchmark under every architecture with
     the per-cycle invariant sanitizer enabled, crash-tolerantly.
 
     Returns ``(report, data)``; ``data['failures']`` lists the failing
     (bench, arch) pairs (empty on a healthy tree).  Small scale by
     default: the point is exercising every state machine under the
-    sanitizer, not performance numbers.
+    sanitizer, not performance numbers.  ``ok*`` marks a cell that only
+    passed after a retry.
     """
     cfg = scaled_fermi(num_sms=sms, sanitize=True)
     if benches is None:
         benches = all_benchmarks()
     else:
         benches = [get(name) if isinstance(name, str) else name for name in benches]
-    records = run_matrix(benches, archs, cfg, scale, keep_going=True)
+    records = run_matrix(benches, archs, cfg, scale, keep_going=True,
+                         parallel=jobs, journal_dir=sweep_dir)
     rows = []
     failures = []
     for bench in benches:
@@ -607,7 +711,8 @@ def doctor_report(scale: float = 0.25, sms: int = 1, benches=None, archs=ARCHS):
         for arch in archs:
             record = records[(bench.name, arch)]
             if record.ok:
-                cells.append(f"ok ({record.cycles} cyc)")
+                marker = "*" if record.retried else ""
+                cells.append(f"ok{marker} ({record.cycles} cyc)")
             else:
                 cells.append(record.failure)
                 failures.append((bench.name, arch, record))
@@ -623,6 +728,37 @@ def doctor_report(scale: float = 0.25, sms: int = 1, benches=None, archs=ARCHS):
         f"\nall {len(rows) * len(archs)} cells clean under the sanitizer"
     )
     return report + verdict, {"records": records, "failures": failures}
+
+
+# ---------------------------------------------------------------------------
+# sweep — the `repro sweep` subcommand: the full matrix, orchestrated
+# ---------------------------------------------------------------------------
+
+def sweep_report(benches=None, archs=ARCHS, scale: float = 1.0, sms: int = 2,
+                 *, jobs: int = 2, wall_timeout: float | None = None,
+                 retries: int = 1, sweep_dir=None, resume: bool = False,
+                 max_cycles: int | None = None, sanitize: bool = False,
+                 progress=None):
+    """The (benchmark x arch) matrix through the subprocess orchestrator.
+
+    Returns ``(report, result)`` where ``result`` is the
+    :class:`~repro.analysis.orchestrator.SweepResult` — the report is the
+    final ok/retried/failed summary table with dump paths.  With
+    ``sweep_dir`` the journal makes the sweep resumable after any crash
+    (``resume=True`` skips journaled cells).
+    """
+    from repro.analysis.orchestrator import matrix_cells, run_sweep
+
+    cfg = scaled_fermi(num_sms=sms, sanitize=sanitize)
+    if benches is None:
+        benches = all_benchmarks()
+    else:
+        benches = [get(name) if isinstance(name, str) else name for name in benches]
+    cells = matrix_cells(benches, archs, cfg, scale, max_cycles=max_cycles)
+    result = run_sweep(cells, jobs=jobs, wall_timeout=wall_timeout,
+                       retries=retries, journal_dir=sweep_dir, resume=resume,
+                       progress=progress)
+    return result.summary_table(), result
 
 
 #: Experiment registry for the harness and docs.

@@ -1,0 +1,238 @@
+"""Append-only JSONL sweep journal with deterministic cell fingerprints.
+
+A sweep writes one JSON object per *completed* cell (success or terminal
+failure) to ``journal.jsonl`` inside the sweep directory.  Each entry is
+keyed by a **fingerprint**: a SHA-256 digest over the benchmark name, the
+full :class:`~repro.sim.config.GPUConfig` field set, the workload scale,
+and the workload seed.  Resume (``repro sweep --resume DIR``) replays the
+journal and skips cells whose fingerprint already has an entry; any change
+to the benchmark, an architecture knob, the scale, or the seed changes the
+fingerprint, so a stale entry from an earlier (different) matrix is never
+silently reused.
+
+Journal schema (one JSON object per line; see docs/ARCHITECTURE.md):
+
+    {"v": 1, "fingerprint": "…", "benchmark": "stride", "arch": "vt",
+     "scale": 1.0, "seed": 0, "status": "ok", "error": null,
+     "retried": false, "attempts": 1, "elapsed_s": 12.3,
+     "stats": {…SimStats.to_dict()…} | null, "dump_path": "…" | null,
+     "config": {…GPUConfig fields…}}
+
+The journal is *append-only* and each line is flushed + fsynced before the
+cell is considered done, so a SIGKILL at any point loses at most the cell
+that was in flight.  A corrupted or truncated line (the classic torn final
+line after a hard kill) is **quarantined**: it is copied to
+``journal.jsonl.quarantine`` and skipped, never crashing a resume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.runner import RunRecord
+from repro.sim.config import GPUConfig
+from repro.sim.stats import SimStats
+
+SCHEMA_VERSION = 1
+
+JOURNAL_NAME = "journal.jsonl"
+
+
+# ---------------------------------------------------------------------------
+# GPUConfig / RunRecord <-> dict
+# ---------------------------------------------------------------------------
+
+def config_to_dict(cfg: GPUConfig) -> dict:
+    """``GPUConfig`` as a JSON-safe dict (all fields are primitives)."""
+    return dataclasses.asdict(cfg)
+
+
+def config_from_dict(data: dict) -> GPUConfig:
+    """Rebuild a ``GPUConfig``, ignoring unknown keys (forward compat)."""
+    known = {f.name for f in dataclasses.fields(GPUConfig)}
+    return GPUConfig(**{k: v for k, v in data.items() if k in known})
+
+
+def record_to_dict(record: RunRecord) -> dict:
+    """A :class:`RunRecord` as a JSON-safe dict (round-trips losslessly)."""
+    return {
+        "benchmark": record.benchmark,
+        "arch": record.arch,
+        "status": record.status,
+        "error": record.error,
+        "dump": record.dump,
+        "retried": record.retried,
+        "stats": record.stats.to_dict() if record.stats is not None else None,
+        "config": config_to_dict(record.config),
+    }
+
+
+def record_from_dict(data: dict) -> RunRecord:
+    stats = data.get("stats")
+    return RunRecord(
+        benchmark=data["benchmark"],
+        arch=data["arch"],
+        stats=SimStats.from_dict(stats) if stats is not None else None,
+        config=config_from_dict(data.get("config") or {}),
+        status=data.get("status", "ok"),
+        error=data.get("error"),
+        dump=data.get("dump"),
+        retried=bool(data.get("retried", False)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+def cell_fingerprint(benchmark: str, cfg: GPUConfig, scale: float,
+                     workload_seed: int = 0) -> str:
+    """Deterministic identity of one sweep cell.
+
+    Depends on every ``GPUConfig`` field, so tweaking *any* knob (swap
+    cost, scheduler, cache size, …) invalidates old journal entries for
+    that cell instead of resuming into wrong numbers.  Hex-truncated to 16
+    chars: 64 bits is collision-free for any realistic matrix.
+    """
+    payload = {
+        "benchmark": benchmark,
+        "scale": float(scale),
+        "seed": int(workload_seed),
+        "config": config_to_dict(cfg),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# The journal
+# ---------------------------------------------------------------------------
+
+@dataclass
+class JournalEntry:
+    """One parsed journal line: a completed cell and how it got there."""
+
+    fingerprint: str
+    record: RunRecord
+    attempts: int = 1
+    elapsed_s: float = 0.0
+    scale: float = 1.0
+    seed: int = 0
+    dump_path: str | None = None
+
+    def to_json(self) -> dict:
+        data = record_to_dict(self.record)
+        return {
+            "v": SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "benchmark": data["benchmark"],
+            "arch": data["arch"],
+            "scale": self.scale,
+            "seed": self.seed,
+            "status": data["status"],
+            "error": data["error"],
+            "retried": data["retried"],
+            "attempts": self.attempts,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "stats": data["stats"],
+            "dump_path": self.dump_path,
+            "config": data["config"],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "JournalEntry":
+        if not isinstance(data, dict) or "fingerprint" not in data:
+            raise ValueError("journal line is not a cell entry")
+        if data.get("v", SCHEMA_VERSION) > SCHEMA_VERSION:
+            raise ValueError(f"journal schema v{data['v']} is newer than this reader")
+        return cls(
+            fingerprint=data["fingerprint"],
+            record=record_from_dict(data),
+            attempts=int(data.get("attempts", 1)),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+            scale=float(data.get("scale", 1.0)),
+            seed=int(data.get("seed", 0)),
+            dump_path=data.get("dump_path"),
+        )
+
+
+@dataclass
+class Journal:
+    """Append-only JSONL journal for one sweep directory.
+
+    ``entries`` maps fingerprint -> latest :class:`JournalEntry`; a later
+    line for the same fingerprint wins (a resumed sweep may legitimately
+    re-run a cell, e.g. after the retry budget was raised).
+    """
+
+    path: Path
+    entries: dict[str, JournalEntry] = field(default_factory=dict)
+    quarantined: int = 0  # corrupted lines skipped at load
+
+    @classmethod
+    def open(cls, directory: str | os.PathLike, resume: bool = False) -> "Journal":
+        """Open (creating the directory) the journal under ``directory``.
+
+        With ``resume`` existing entries are loaded — corrupted lines are
+        quarantined to ``journal.jsonl.quarantine`` and skipped.  Without
+        it a pre-existing journal is an error: silently appending a new
+        sweep onto an old journal mixes matrices.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / JOURNAL_NAME
+        journal = cls(path=path)
+        if path.exists():
+            if not resume:
+                raise FileExistsError(
+                    f"{path} already exists; pass resume=True "
+                    f"(repro sweep --resume) or choose a fresh directory")
+            journal._load()
+        return journal
+
+    def _load(self) -> None:
+        bad_lines: list[str] = []
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = JournalEntry.from_json(json.loads(line))
+                except (ValueError, KeyError, TypeError):
+                    bad_lines.append(line)
+                    continue
+                self.entries[entry.fingerprint] = entry
+        if bad_lines:
+            self.quarantined = len(bad_lines)
+            quarantine = self.path.with_suffix(self.path.suffix + ".quarantine")
+            with quarantine.open("a", encoding="utf-8") as handle:
+                for line in bad_lines:
+                    handle.write(line + "\n")
+
+    def append(self, entry: JournalEntry) -> None:
+        """Durably append one completed cell (flush + fsync per line)."""
+        line = json.dumps(entry.to_json(), sort_keys=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.entries[entry.fingerprint] = entry
+
+    def lookup(self, fingerprint: str) -> JournalEntry | None:
+        return self.entries.get(fingerprint)
+
+    def write_dump(self, fingerprint: str, dump: str | None) -> str | None:
+        """Persist a forensic dump under ``<dir>/dumps/``; returns its path."""
+        if not dump:
+            return None
+        dumps = self.path.parent / "dumps"
+        dumps.mkdir(exist_ok=True)
+        path = dumps / f"{fingerprint}.txt"
+        path.write_text(dump + "\n", encoding="utf-8")
+        return str(path)

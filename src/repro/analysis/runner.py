@@ -28,7 +28,11 @@ from repro.sim.sanitizer import InvariantViolation
 from repro.sim.stats import SimStats
 
 #: RunRecord.status values, roughly ordered by how alarming they are.
-STATUSES = ("ok", "timeout", "deadlock", "violation", "check-failed", "error")
+#: The last two are produced only by the subprocess orchestrator
+#: (:mod:`repro.analysis.orchestrator`): a worker killed at its wall-clock
+#: deadline, and a worker that died without reporting (segfault/OOM).
+STATUSES = ("ok", "timeout", "deadlock", "violation", "check-failed", "error",
+            "wall-timeout", "worker-died")
 
 
 @dataclass
@@ -128,7 +132,11 @@ def run_benchmark_safe(bench: Benchmark, cfg: GPUConfig, scale: float = 1.0,
 def run_matrix(benches, archs, base_cfg: GPUConfig, scale: float = 1.0,
                check: bool = True, *, keep_going: bool = False,
                retry_timeouts: bool = True,
-               run_timeout_cycles: int | None = None) -> dict[tuple[str, str], RunRecord]:
+               run_timeout_cycles: int | None = None,
+               parallel: int | None = None,
+               journal_dir=None, resume: bool = False,
+               wall_timeout: float | None = None,
+               retries: int = 1) -> dict[tuple[str, str], RunRecord]:
     """Run every (benchmark, arch) pair; returns {(bench, arch): record}.
 
     With ``keep_going`` each cell is isolated: a failing run is captured
@@ -136,7 +144,25 @@ def run_matrix(benches, archs, base_cfg: GPUConfig, scale: float = 1.0,
     filter on ``record.ok``.  Without it (the default) the first failure
     raises, matching the historical strict behaviour.
     ``run_timeout_cycles`` bounds each individual run's cycle budget.
+
+    ``parallel`` / ``journal_dir`` switch the sweep onto the subprocess
+    orchestrator (:func:`repro.analysis.orchestrator.run_sweep`):
+    ``parallel`` workers each run one cell in an isolated process under a
+    ``wall_timeout``-second deadline, and with ``journal_dir`` completed
+    cells are checkpointed so ``resume=True`` skips them after a crash.
+    The orchestrator is inherently keep-going; benchmarks must come from
+    the registry (workers re-resolve them by name).
     """
+    if parallel is not None or journal_dir is not None:
+        from repro.analysis.orchestrator import matrix_cells, run_sweep
+
+        cells = matrix_cells(benches, archs, base_cfg, scale, check,
+                             max_cycles=run_timeout_cycles)
+        result = run_sweep(cells, jobs=1 if parallel is None else parallel,
+                           wall_timeout=wall_timeout, retries=retries,
+                           journal_dir=journal_dir, resume=resume)
+        return result.records
+
     records: dict[tuple[str, str], RunRecord] = {}
     for bench in benches:
         for arch in archs:

@@ -6,13 +6,17 @@ Commands:
 * ``run BENCH`` — simulate one benchmark under one architecture.
 * ``compare BENCH`` — baseline vs VT vs ideal-sched side by side.
 * ``experiment ID`` — regenerate a paper artifact (E1..E12, X1..X3).
+* ``sweep`` — the (benchmark x arch) matrix through the process-isolated
+  orchestrator: parallel workers, wall-clock kill, retries, and a
+  journal that makes the sweep resumable (``--resume DIR``).
 * ``doctor`` — sanitizer-on smoke sweep over the whole suite.
 * ``occupancy BENCH`` — the occupancy calculator's view of a kernel.
 * ``disasm BENCH`` — disassemble a benchmark kernel.
 * ``profile BENCH`` — static instruction-mix / control-flow profile.
 
 Failures exit cleanly: simulation timeouts and deadlocks print a one-line
-error plus the path of the forensic dump (exit 1) instead of a traceback.
+error plus the path of the forensic dump (exit 1) instead of a traceback,
+and an interrupted ``sweep`` prints how to resume it.
 """
 
 from __future__ import annotations
@@ -43,6 +47,13 @@ def positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {text!r}")
+    return value
+
+
+def nonneg_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text!r}")
     return value
 
 
@@ -103,16 +114,50 @@ def cmd_experiment(args) -> int:
               file=sys.stderr)
         return 2
     fn = ALL_EXPERIMENTS[key]
+    params = inspect.signature(fn).parameters
     kwargs = {}
     if key not in ("E1", "E2", "E3", "E11"):
         kwargs["scale"] = args.scale
     # Crash tolerance is opt-out: experiments that support keep_going mark
     # failing cells FAILED(<reason>) unless --strict asks them to raise.
-    if "keep_going" in inspect.signature(fn).parameters:
+    if "keep_going" in params:
         kwargs["keep_going"] = not args.strict
+    # --jobs routes the experiment's simulation runs through the
+    # process-isolated sweep orchestrator (static tables have no runs).
+    if "jobs" in params and args.jobs is not None:
+        kwargs["jobs"] = args.jobs
     report, _data = fn(**kwargs)
     print(report)
     return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.analysis.experiments import sweep_report
+
+    if args.resume and args.dir and args.resume != args.dir:
+        print("error: pass either --dir or --resume, not both", file=sys.stderr)
+        return 2
+    sweep_dir = args.resume or args.dir
+    if sweep_dir is None:
+        sweep_dir = tempfile.mkdtemp(prefix="repro-sweep-")
+    print(f"sweep directory: {sweep_dir} "
+          f"(resume an interrupted sweep with: repro sweep --resume {sweep_dir} …)")
+    try:
+        report, result = sweep_report(
+            benches=args.benchmarks or None,
+            scale=args.scale, sms=args.sms,
+            jobs=0 if args.serial else args.jobs,
+            wall_timeout=args.wall_timeout, retries=args.retries,
+            sweep_dir=sweep_dir, resume=args.resume is not None,
+            max_cycles=args.max_cycles, sanitize=args.sanitize,
+            progress=lambda message: print(f"  {message}", file=sys.stderr),
+        )
+    except KeyboardInterrupt:
+        print(f"\ninterrupted; completed cells are journaled — resume with:\n"
+              f"  repro sweep --resume {sweep_dir} …", file=sys.stderr)
+        return 130
+    print(report)
+    return 0 if result.ok else 1
 
 
 def cmd_doctor(args) -> int:
@@ -195,7 +240,39 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("--strict", action="store_true",
                        help="abort on the first failing run instead of "
                             "rendering FAILED(<reason>) cells")
+    exp_p.add_argument("--jobs", type=positive_int, default=None,
+                       help="run the experiment's simulations through the "
+                            "process-isolated orchestrator with N workers")
     exp_p.set_defaults(fn=cmd_experiment)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run the benchmark x arch matrix with process "
+                      "isolation, checkpointing, and resume")
+    sweep_p.add_argument("--benchmark", action="append", dest="benchmarks",
+                         metavar="BENCH", default=None,
+                         help="restrict to specific benchmarks (repeatable)")
+    sweep_p.add_argument("--scale", type=positive_float, default=1.0)
+    sweep_p.add_argument("--sms", type=positive_int, default=2)
+    sweep_p.add_argument("--jobs", type=positive_int, default=2,
+                         help="worker subprocesses (default 2)")
+    sweep_p.add_argument("--serial", action="store_true",
+                         help="run in-process (no isolation; still journaled)")
+    sweep_p.add_argument("--wall-timeout", type=positive_float, default=None,
+                         metavar="SECONDS",
+                         help="kill any cell exceeding this wall-clock budget")
+    sweep_p.add_argument("--retries", type=nonneg_int, default=1,
+                         help="extra attempts for retryable failures (default 1)")
+    sweep_p.add_argument("--dir", default=None,
+                         help="sweep directory for the journal and dumps "
+                              "(default: a fresh temp directory)")
+    sweep_p.add_argument("--resume", metavar="DIR", default=None,
+                         help="resume an interrupted sweep from its directory, "
+                              "re-running only unfinished cells")
+    sweep_p.add_argument("--max-cycles", type=positive_int, default=None,
+                         help="per-run hard cycle budget")
+    sweep_p.add_argument("--sanitize", action="store_true",
+                         help="run the per-cycle invariant sanitizer (slower)")
+    sweep_p.set_defaults(fn=cmd_sweep)
 
     doc_p = sub.add_parser(
         "doctor", help="sanitizer-on smoke sweep over the suite")
@@ -247,6 +324,9 @@ def main(argv=None) -> int:
         path = _write_dump(exc.dump)
         if path:
             print(f"diagnostic dump written to {path}", file=sys.stderr)
+        return 1
+    except FileExistsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 1
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

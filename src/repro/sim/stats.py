@@ -8,7 +8,15 @@ resident/schedulable warps, swap accounting, cache hit rates).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+
+
+def _filtered(cls, data: dict) -> dict:
+    """Keep only keys that are fields of ``cls`` (forward/backward compat:
+    a journal written by a newer or older build still loads)."""
+    known = {f.name for f in dataclasses.fields(cls)}
+    return {k: v for k, v in data.items() if k in known}
 
 
 @dataclass
@@ -58,6 +66,19 @@ class SMStats:
             + self.idle_cycles_empty
         )
 
+    def to_dict(self) -> dict:
+        """JSON-safe dict of every raw counter (round-trips losslessly)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SMStats":
+        stats = cls(**_filtered(cls, data))
+        # JSON object keys are always strings; counts must stay ints.
+        stats.instructions_by_class = {
+            str(k): int(v) for k, v in stats.instructions_by_class.items()
+        }
+        return stats
+
 
 @dataclass
 class SimStats:
@@ -71,6 +92,24 @@ class SimStats:
     l2_hits: int = 0
     dram_requests: int = 0
     ctas_launched: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict (chip counters + per-SM counter dicts).
+
+        Derived metrics (``ipc``, hit rates, …) are intentionally not
+        stored: they are recomputed from the raw counters after
+        :meth:`from_dict`, so a journal can never carry a stats/metric
+        mismatch.
+        """
+        data = dataclasses.asdict(self)
+        data["sm_stats"] = [sm.to_dict() for sm in self.sm_stats]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimStats":
+        stats = cls(**_filtered(cls, data))
+        stats.sm_stats = [SMStats.from_dict(sm) for sm in data.get("sm_stats", [])]
+        return stats
 
     def instruction_mix(self) -> dict[str, float]:
         """Fraction of warp-instructions per functional-unit class."""

@@ -206,3 +206,75 @@ def test_experiment_strict_propagates_failure(capsys, monkeypatch):
                               "--strict")
     assert code == 1
     assert "simulation deadlock" in err
+
+
+# -- sweep: the orchestrated matrix ------------------------------------------
+
+
+def test_sweep_serial_with_journal(capsys, tmp_path):
+    code, out, _err = run_cli(
+        capsys, "sweep", "--serial", "--scale", "0.25", "--sms", "1",
+        "--benchmark", "vecadd", "--dir", str(tmp_path))
+    assert code == 0
+    assert "sweep summary" in out
+    assert "3/3 ok" in out
+    assert (tmp_path / "journal.jsonl").exists()
+
+
+def test_sweep_resume_skips_journaled_cells(capsys, tmp_path):
+    run_cli(capsys, "sweep", "--serial", "--scale", "0.25", "--sms", "1",
+            "--benchmark", "vecadd", "--dir", str(tmp_path))
+    code, out, _err = run_cli(
+        capsys, "sweep", "--serial", "--scale", "0.25", "--sms", "1",
+        "--benchmark", "vecadd", "--resume", str(tmp_path))
+    assert code == 0
+    assert "3 resumed" in out
+
+
+def test_sweep_refuses_stale_directory_without_resume(capsys, tmp_path):
+    run_cli(capsys, "sweep", "--serial", "--scale", "0.25", "--sms", "1",
+            "--benchmark", "vecadd", "--dir", str(tmp_path))
+    code, _out, err = run_cli(
+        capsys, "sweep", "--serial", "--scale", "0.25", "--sms", "1",
+        "--benchmark", "vecadd", "--dir", str(tmp_path))
+    assert code == 1
+    assert "resume" in err
+
+
+def test_sweep_dir_and_resume_conflict(capsys, tmp_path):
+    code, _out, err = run_cli(
+        capsys, "sweep", "--dir", str(tmp_path), "--resume", str(tmp_path / "x"))
+    assert code == 2
+    assert "not both" in err
+
+
+@pytest.mark.parametrize("bad", [
+    ("sweep", "--jobs", "0"),
+    ("sweep", "--retries", "-1"),
+    ("sweep", "--wall-timeout", "0"),
+    ("sweep", "--scale", "0"),
+])
+def test_sweep_invalid_arguments(capsys, bad):
+    with pytest.raises(SystemExit) as excinfo:
+        main(list(bad))
+    assert excinfo.value.code == 2
+
+
+def test_sweep_reports_failed_cells(capsys, tmp_path):
+    code, out, _err = run_cli(
+        capsys, "sweep", "--serial", "--scale", "0.25", "--sms", "1",
+        "--benchmark", "vecadd", "--max-cycles", "100",
+        "--retries", "0", "--dir", str(tmp_path))
+    assert code == 1
+    assert "FAILED(timeout)" in out
+    assert (tmp_path / "dumps").exists()
+
+
+def test_experiment_jobs_flag_parses():
+    # (The jobs-mode wiring itself is covered by tests/test_orchestrator.py;
+    # running a full experiment through workers is too slow for this suite.)
+    args = build_parser().parse_args(["experiment", "e5", "--jobs", "4"])
+    assert args.jobs == 4
+    args = build_parser().parse_args(
+        ["sweep", "--jobs", "3", "--wall-timeout", "60.5", "--retries", "2"])
+    assert args.jobs == 3 and args.wall_timeout == 60.5 and args.retries == 2

@@ -1,0 +1,166 @@
+"""Sweep journal: fingerprints, record serialization, durability, and
+corrupted-line quarantine.  (Orchestrator end-to-end tests live in
+tests/test_orchestrator.py.)"""
+
+import json
+
+import pytest
+
+from repro.analysis.journal import (
+    Journal,
+    JournalEntry,
+    cell_fingerprint,
+    config_from_dict,
+    config_to_dict,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.analysis.runner import RunRecord, run_benchmark
+from repro.kernels.registry import get
+from repro.sim.config import scaled_fermi
+
+
+@pytest.fixture
+def cfg():
+    return scaled_fermi(num_sms=1)
+
+
+# ---------------------------------------------------------------------------
+# fingerprints
+# ---------------------------------------------------------------------------
+
+def test_fingerprint_is_deterministic(cfg):
+    assert (cell_fingerprint("vecadd", cfg, 0.25)
+            == cell_fingerprint("vecadd", cfg, 0.25))
+    # equal configs built independently fingerprint identically
+    assert (cell_fingerprint("vecadd", scaled_fermi(num_sms=1), 0.25)
+            == cell_fingerprint("vecadd", cfg, 0.25))
+
+
+def test_fingerprint_changes_with_every_input(cfg):
+    base = cell_fingerprint("vecadd", cfg, 0.25)
+    assert cell_fingerprint("saxpy", cfg, 0.25) != base
+    assert cell_fingerprint("vecadd", cfg, 0.5) != base
+    assert cell_fingerprint("vecadd", cfg, 0.25, workload_seed=1) != base
+    # ANY config knob participates: a stale entry can never be resumed
+    # into a run whose configuration changed.
+    assert cell_fingerprint("vecadd", cfg.with_(arch="vt"), 0.25) != base
+    assert cell_fingerprint("vecadd", cfg.with_(dram_latency=401), 0.25) != base
+    assert cell_fingerprint("vecadd", cfg.with_(vt_swap_out_base=3), 0.25) != base
+
+
+# ---------------------------------------------------------------------------
+# config / record serialization
+# ---------------------------------------------------------------------------
+
+def test_config_round_trip(cfg):
+    tweaked = cfg.with_(arch="vt", warp_scheduler="lrr", dram_latency=600)
+    assert config_from_dict(config_to_dict(tweaked)) == tweaked
+
+
+def test_config_from_dict_ignores_unknown_keys(cfg):
+    data = config_to_dict(cfg)
+    data["knob_from_the_future"] = 42
+    assert config_from_dict(data) == cfg
+
+
+def test_ok_record_round_trips_through_json(cfg):
+    record = run_benchmark(get("vecadd"), cfg, scale=0.25)
+    wire = json.loads(json.dumps(record_to_dict(record)))
+    clone = record_from_dict(wire)
+    assert clone.ok
+    assert clone.benchmark == "vecadd"
+    assert clone.cycles == record.cycles
+    assert clone.stats == record.stats
+    assert clone.config == record.config
+
+
+def test_failed_record_round_trips(cfg):
+    record = RunRecord(benchmark="vecadd", arch="vt", stats=None, config=cfg,
+                       status="timeout", error="SimulationTimeout: boom",
+                       dump="forensics", retried=True)
+    clone = record_from_dict(json.loads(json.dumps(record_to_dict(record))))
+    assert clone.status == "timeout"
+    assert clone.error == "SimulationTimeout: boom"
+    assert clone.dump == "forensics"
+    assert clone.retried
+    assert clone.stats is None
+
+
+# ---------------------------------------------------------------------------
+# the journal file
+# ---------------------------------------------------------------------------
+
+def _entry(cfg, bench="vecadd", status="ok", **kwargs):
+    record = RunRecord(benchmark=bench, arch=cfg.arch, stats=None, config=cfg,
+                       status=status)
+    return JournalEntry(fingerprint=cell_fingerprint(bench, cfg, 0.25),
+                        record=record, **kwargs)
+
+
+def test_journal_append_and_reload(tmp_path, cfg):
+    journal = Journal.open(tmp_path / "sweep")
+    entry = _entry(cfg, attempts=2, elapsed_s=1.5)
+    journal.append(entry)
+    reloaded = Journal.open(tmp_path / "sweep", resume=True)
+    got = reloaded.lookup(entry.fingerprint)
+    assert got is not None
+    assert got.attempts == 2
+    assert got.record.benchmark == "vecadd"
+    assert reloaded.quarantined == 0
+
+
+def test_journal_refuses_accidental_overwrite(tmp_path, cfg):
+    journal = Journal.open(tmp_path / "sweep")
+    journal.append(_entry(cfg))
+    with pytest.raises(FileExistsError, match="resume"):
+        Journal.open(tmp_path / "sweep")
+
+
+def test_journal_later_line_wins(tmp_path, cfg):
+    journal = Journal.open(tmp_path / "sweep")
+    journal.append(_entry(cfg, status="timeout"))
+    journal.append(_entry(cfg, status="ok", attempts=2))
+    reloaded = Journal.open(tmp_path / "sweep", resume=True)
+    assert len(reloaded.entries) == 1
+    entry = next(iter(reloaded.entries.values()))
+    assert entry.record.status == "ok"
+    assert entry.attempts == 2
+
+
+def test_corrupted_lines_are_quarantined_not_fatal(tmp_path, cfg):
+    journal = Journal.open(tmp_path / "sweep")
+    good = _entry(cfg)
+    journal.append(good)
+    # Simulate a SIGKILL mid-write (torn final line) plus stray garbage.
+    with journal.path.open("a") as handle:
+        handle.write('{"fingerprint": "abc", "trunc')
+        handle.write("\nnot json at all\n")
+        handle.write('{"valid_json": "but not a journal entry"}\n')
+    reloaded = Journal.open(tmp_path / "sweep", resume=True)
+    assert reloaded.lookup(good.fingerprint) is not None
+    assert len(reloaded.entries) == 1
+    assert reloaded.quarantined == 3
+    quarantine = journal.path.with_suffix(".jsonl.quarantine")
+    assert quarantine.exists()
+    assert len(quarantine.read_text().strip().splitlines()) == 3
+
+
+def test_journal_rejects_newer_schema(tmp_path, cfg):
+    journal = Journal.open(tmp_path / "sweep")
+    data = _entry(cfg).to_json()
+    data["v"] = 999
+    with journal.path.open("a") as handle:
+        handle.write(json.dumps(data) + "\n")
+    reloaded = Journal.open(tmp_path / "sweep", resume=True)
+    # A from-the-future line is quarantined, not misread.
+    assert reloaded.quarantined == 1
+
+
+def test_write_dump(tmp_path, cfg):
+    journal = Journal.open(tmp_path / "sweep")
+    path = journal.write_dump("feedbeef", "stack of forensics")
+    assert path is not None
+    assert "feedbeef" in path
+    assert "forensics" in open(path).read()
+    assert journal.write_dump("feedbeef", None) is None

@@ -87,3 +87,70 @@ def test_summary_renders():
     stats = make_sim([sm])
     text = stats.summary()
     assert "IPC" in text and "cycle breakdown" in text
+
+
+# ---------------------------------------------------------------------------
+# to_dict / from_dict round-trip (the sweep journal depends on this)
+# ---------------------------------------------------------------------------
+
+def _populated_sm() -> SMStats:
+    return SMStats(
+        cycles=1000, instructions=400, thread_instructions=12800,
+        instructions_by_class={"alu": 300, "mem_global": 100},
+        issue_slots=2000, issued_slots=400,
+        idle_cycles_mem=50, idle_cycles_alu=10, idle_cycles_swap=5,
+        occupancy_samples=10, resident_warp_samples=480,
+        schedulable_warp_samples=300, resident_cta_samples=80,
+        active_cta_samples=60, swaps=7, swap_busy_cycles=90,
+        l1_accesses=100, l1_hits=60, smem_accesses=3,
+        global_transactions=40, ctas_completed=12,
+    )
+
+
+def test_smstats_round_trip():
+    sm = _populated_sm()
+    clone = SMStats.from_dict(sm.to_dict())
+    assert clone == sm
+
+
+def test_simstats_round_trip_preserves_counters_and_metrics():
+    stats = SimStats(cycles=1000, instructions=400, thread_instructions=12800,
+                     sm_stats=[_populated_sm(), SMStats(cycles=900)],
+                     l2_accesses=80, l2_hits=40, dram_requests=40,
+                     ctas_launched=24)
+    clone = SimStats.from_dict(stats.to_dict())
+    assert clone == stats
+    # Derived metrics recompute identically from the restored counters.
+    assert clone.ipc == stats.ipc
+    assert clone.l1_hit_rate == stats.l1_hit_rate
+    assert clone.l2_hit_rate == stats.l2_hit_rate
+    assert clone.total_swaps == stats.total_swaps
+    assert clone.idle_breakdown() == stats.idle_breakdown()
+    assert clone.instruction_mix() == stats.instruction_mix()
+
+
+def test_simstats_round_trip_is_json_safe():
+    import json
+
+    stats = SimStats(cycles=10, sm_stats=[_populated_sm()])
+    wire = json.loads(json.dumps(stats.to_dict()))
+    assert SimStats.from_dict(wire) == stats
+
+
+def test_from_dict_ignores_unknown_keys():
+    data = SimStats(cycles=5).to_dict()
+    data["a_future_counter"] = 123
+    data["sm_stats"] = [{"cycles": 3, "another_future_counter": 9}]
+    clone = SimStats.from_dict(data)
+    assert clone.cycles == 5
+    assert clone.sm_stats[0].cycles == 3
+
+
+def test_real_run_stats_round_trip():
+    from repro.analysis.runner import run_benchmark
+    from repro.kernels.registry import get
+    from repro.sim.config import scaled_fermi
+
+    record = run_benchmark(get("vecadd"), scaled_fermi(num_sms=1), scale=0.25)
+    clone = SimStats.from_dict(record.stats.to_dict())
+    assert clone == record.stats
