@@ -1,9 +1,18 @@
 """Simulator-throughput benchmark (not a paper artifact).
 
-Measures simulated-cycles-per-second of the timing model itself on a
-representative kernel under each architecture, so performance regressions
-in the simulator are visible in benchmark history.  Unlike the experiment
-targets this one runs multiple rounds for a stable timing.
+Measures simulated-cycles-per-second of the timing model itself — per
+architecture, per engine (event-driven fast-forward vs per-cycle
+reference), on two representative kernels:
+
+* ``hotspot`` — compute/shared-memory bound, the fast-forward worst case
+  (few dead cycles to skip);
+* ``stride`` — a latency-bound strided-load chain at low occupancy, the
+  fast-forward best case (long provably-dead stall spans).
+
+Workload preparation happens in the benchmark setup hook so only
+``GPU.launch`` is timed.  ``scripts/bench_simspeed.py`` runs the same
+matrix standalone and checks it against the committed baseline in
+``BENCH_simspeed.json``.
 """
 
 import pytest
@@ -12,18 +21,32 @@ from conftest import bench_config
 from repro.kernels import get
 from repro.sim.gpu import GPU
 
-
-def _simulate(arch):
-    bench = get("hotspot")
-    prep = bench.prepare(0.5)
-    gpu = GPU(bench_config(arch=arch))
-    result = gpu.launch(bench.kernel, prep.grid_dim, prep.gmem, prep.params)
-    return result.stats.cycles
+# (kernel, workload scale): hotspot at its usual benchmark scale; stride
+# small enough that one CTA lands per SM — raw memory latency, no overlap.
+WORKLOADS = [("hotspot", 0.5), ("stride", 0.0625)]
 
 
+def _setup(kernel_name, scale, arch, fast_forward):
+    bench = get(kernel_name)
+    prep = bench.prepare(scale)
+    gpu = GPU(bench_config(arch=arch, fast_forward=fast_forward))
+    return (gpu, bench.kernel, prep), {}
+
+
+def _launch(gpu, kernel, prep):
+    return gpu.launch(kernel, prep.grid_dim, prep.gmem, prep.params).stats.cycles
+
+
+@pytest.mark.parametrize("engine", ["fast-forward", "reference"])
+@pytest.mark.parametrize("kernel_name,scale", WORKLOADS, ids=lambda v: str(v))
 @pytest.mark.parametrize("arch", ["baseline", "vt", "ideal-sched"])
-def test_simulator_throughput(benchmark, arch):
-    cycles = benchmark.pedantic(lambda: _simulate(arch), rounds=3, iterations=1)
+def test_simulator_throughput(benchmark, arch, kernel_name, scale, engine):
+    fast_forward = engine == "fast-forward"
+    cycles = benchmark.pedantic(
+        _launch,
+        setup=lambda: _setup(kernel_name, scale, arch, fast_forward),
+        rounds=3,
+    )
     assert cycles > 0
     # Report simulated cycles/second alongside wall time.
     benchmark.extra_info["simulated_cycles"] = cycles

@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Simulator-throughput tracking: measure, seed, and check cycles/sec.
+
+Runs the same matrix as ``benchmarks/test_sim_speed.py`` — architecture ×
+engine (fast-forward vs per-cycle reference) × kernel — and records
+simulated-cycles-per-second for each cell.
+
+Modes::
+
+    python scripts/bench_simspeed.py                 # print a table
+    python scripts/bench_simspeed.py --write         # seed BENCH_simspeed.json
+    python scripts/bench_simspeed.py --check         # fail on regression
+
+``--check`` compares against the committed baseline with a machine-speed
+calibration: the median of current/baseline ratios across all cells is
+taken as this machine's speed factor, and a cell fails only when it is
+more than ``--tolerance`` (default 30%) below its *calibrated* baseline.
+That keeps the check meaningful on CI runners of unknown speed while
+still catching per-cell throughput regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.kernels import get  # noqa: E402
+from repro.sim.config import scaled_fermi  # noqa: E402
+from repro.sim.gpu import GPU  # noqa: E402
+
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_simspeed.json"
+
+ARCHES = ("baseline", "vt", "ideal-sched")
+ENGINES = ("fast-forward", "reference")
+# Mirrors benchmarks/test_sim_speed.py: hotspot is the fast-forward worst
+# case, low-occupancy stride the best case.
+WORKLOADS = (("hotspot", 0.5), ("stride", 0.0625))
+NUM_SMS = 2
+
+
+def cell_id(kernel: str, arch: str, engine: str) -> str:
+    return f"{kernel}/{arch}/{engine}"
+
+
+def measure_cell(kernel_name: str, scale: float, arch: str, engine: str,
+                 rounds: int) -> dict:
+    bench = get(kernel_name)
+    best = None
+    cycles = 0
+    for _ in range(rounds):
+        prep = bench.prepare(scale)
+        gpu = GPU(scaled_fermi(num_sms=NUM_SMS, arch=arch,
+                               fast_forward=engine == "fast-forward"))
+        t0 = time.perf_counter()
+        result = gpu.launch(bench.kernel, prep.grid_dim, prep.gmem, prep.params)
+        elapsed = time.perf_counter() - t0
+        cycles = result.stats.cycles
+        if best is None or elapsed < best:
+            best = elapsed
+    return {"cycles": cycles, "seconds": round(best, 6),
+            "cycles_per_sec": round(cycles / best, 1)}
+
+
+def measure_all(rounds: int) -> dict:
+    cells = {}
+    for kernel_name, scale in WORKLOADS:
+        for arch in ARCHES:
+            for engine in ENGINES:
+                cells[cell_id(kernel_name, arch, engine)] = measure_cell(
+                    kernel_name, scale, arch, engine, rounds)
+    return {"num_sms": NUM_SMS,
+            "workloads": {k: s for k, s in WORKLOADS},
+            "cells": cells}
+
+
+def print_table(data: dict) -> None:
+    cells = data["cells"]
+    print(f"{'cell':40s} {'cycles':>9s} {'seconds':>9s} {'cyc/sec':>12s}")
+    for name, cell in cells.items():
+        print(f"{name:40s} {cell['cycles']:>9d} {cell['seconds']:>9.4f} "
+              f"{cell['cycles_per_sec']:>12.0f}")
+    for kernel_name, _ in WORKLOADS:
+        for arch in ARCHES:
+            fast = cells[cell_id(kernel_name, arch, "fast-forward")]
+            ref = cells[cell_id(kernel_name, arch, "reference")]
+            speedup = fast["cycles_per_sec"] / ref["cycles_per_sec"]
+            print(f"fast-forward speedup {kernel_name}/{arch}: x{speedup:.2f}")
+
+
+def check(data: dict, tolerance: float) -> int:
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with --write first",
+              file=sys.stderr)
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())
+    base_cells = baseline["cells"]
+    ratios = {}
+    for name, cell in data["cells"].items():
+        if name in base_cells:
+            ratios[name] = cell["cycles_per_sec"] / base_cells[name]["cycles_per_sec"]
+    if not ratios:
+        print("baseline shares no cells with this run", file=sys.stderr)
+        return 2
+    machine_factor = statistics.median(ratios.values())
+    print(f"machine speed factor vs committed baseline: {machine_factor:.2f}")
+    failures = []
+    for name, ratio in sorted(ratios.items()):
+        calibrated = ratio / machine_factor
+        status = "ok"
+        if calibrated < 1.0 - tolerance:
+            status = "REGRESSION"
+            failures.append(name)
+        print(f"  {name:40s} calibrated {calibrated:5.2f}  {status}")
+    if failures:
+        print(f"{len(failures)} cell(s) regressed more than "
+              f"{tolerance:.0%} below the calibrated baseline", file=sys.stderr)
+        return 1
+    print("throughput within tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--write", action="store_true",
+                        help=f"seed {BASELINE_PATH.name} with this run")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed baseline")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed calibrated shortfall (default 0.30)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds per cell; best-of is kept")
+    args = parser.parse_args(argv)
+
+    data = measure_all(args.rounds)
+    print_table(data)
+    if args.write:
+        BASELINE_PATH.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+    if args.check:
+        return check(data, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -63,6 +63,8 @@ def _config(args, arch: str):
         overrides["warp_scheduler"] = args.scheduler
     if getattr(args, "sanitize", False):
         overrides["sanitize"] = True
+    if getattr(args, "no_fast_forward", False):
+        overrides["fast_forward"] = False
     return scaled_fermi(num_sms=args.sms, arch=arch, **overrides)
 
 
@@ -150,6 +152,7 @@ def cmd_sweep(args) -> int:
             wall_timeout=args.wall_timeout, retries=args.retries,
             sweep_dir=sweep_dir, resume=args.resume is not None,
             max_cycles=args.max_cycles, sanitize=args.sanitize,
+            fast_forward=not args.no_fast_forward,
             progress=lambda message: print(f"  {message}", file=sys.stderr),
         )
     except KeyboardInterrupt:
@@ -223,6 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scheduler", choices=("lrr", "gto", "two-level"), default=None)
         p.add_argument("--sanitize", action="store_true",
                        help="run the per-cycle invariant sanitizer (slower)")
+        p.add_argument("--no-fast-forward", action="store_true",
+                       help="force the per-cycle reference engine instead of "
+                            "the event-driven fast-forward engine (slower; "
+                            "statistics are identical either way)")
         p.add_argument("--max-cycles", type=positive_int, default=None,
                        help="override the hard cycle budget")
 
@@ -272,6 +279,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-run hard cycle budget")
     sweep_p.add_argument("--sanitize", action="store_true",
                          help="run the per-cycle invariant sanitizer (slower)")
+    sweep_p.add_argument("--no-fast-forward", action="store_true",
+                         help="force the per-cycle reference engine for every "
+                              "cell (slower; statistics are identical)")
     sweep_p.set_defaults(fn=cmd_sweep)
 
     doc_p = sub.add_parser(

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from repro.core.policies import SELECT_POLICIES, TRIGGER_POLICIES
 from repro.sim.cta import CTA, CTAState
-from repro.sim.ctamanager import CTAManagerBase
+from repro.sim.ctamanager import FOREVER, CTAManagerBase
 
 
 class VirtualThreadManager(CTAManagerBase):
@@ -79,6 +79,61 @@ class VirtualThreadManager(CTAManagerBase):
 
     def swap_in_flight(self) -> bool:
         return self._swap_victim is not None or self._swap_incoming is not None
+
+    def next_event(self, now: int) -> int:
+        """Earliest future cycle at which :meth:`update` would act, given
+        that no warp issues anywhere before it.
+
+        Three horizons exist (see the next-event contract in
+        docs/ARCHITECTURE.md):
+
+        * a context switch in flight finishes its current phase at
+          ``_swap_phase_end`` (until then ``update`` only accrues one
+          ``swap_busy_cycles`` per cycle, which the fast-forward engine
+          bulk-credits);
+        * an INACTIVE CTA becomes ready for activation when its earliest
+          non-barrier warp's outstanding global load completes — that can
+          enable both a slot fill and a pending trigger swap;
+        * under the ``timeout`` trigger policy, a fully-stalled ACTIVE CTA
+          fires at ``stall_since + vt_trigger_timeout`` even though no warp
+          status changes.
+
+        All other trigger/selection inputs are pure functions of warp
+        statuses, and every status change is already an SM-level event.
+        """
+        if self._swap_victim is not None or self._swap_incoming is not None:
+            return self._swap_phase_end
+        event = FOREVER
+        timeout_trigger = self.cfg.vt_trigger_policy == "timeout"
+        timeout = self.cfg.vt_trigger_timeout
+        for cta in self.resident:
+            if cta.state is CTAState.INACTIVE:
+                ready_at = self._activation_ready_at(cta, now)
+                if now < ready_at < event:
+                    event = ready_at
+            elif (timeout_trigger and cta.state is CTAState.ACTIVE
+                  and cta.stall_since is not None):
+                fire_at = cta.stall_since + timeout
+                if now < fire_at < event:
+                    event = fire_at
+        return event
+
+    def _activation_ready_at(self, cta: CTA, now: int) -> int:
+        """Earliest cycle at which ``cta.ready_for_activation`` can turn
+        true: the min over its eligible warps of the outstanding global-load
+        completion.  Returns ``now`` when it is ready already (no future
+        event needed — a promotion either happened this cycle or waits on a
+        slot/trigger, both of which are covered by other horizons)."""
+        ready_at = FOREVER
+        for warp in cta.warps:
+            if warp.finished or warp.at_barrier:
+                continue
+            pending_until = warp.scoreboard.mem_pending_until()
+            if pending_until <= now:
+                return now
+            if pending_until < ready_at:
+                ready_at = pending_until
+        return ready_at
 
     def update(self, now: int, warp_status) -> None:
         if self._swap_victim is not None or self._swap_incoming is not None:

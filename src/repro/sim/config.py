@@ -109,6 +109,17 @@ class GPUConfig:
     barrier_release_latency: int = 1
     max_cycles: int = 5_000_000  # hard watchdog: absolute cycle budget
 
+    # ---- simulation engine --------------------------------------------------
+    #: Event-driven fast-forward: when no scheduler can issue, jump straight
+    #: to the earliest next event across SMs (warp wake, structural-pipe
+    #: free, barrier release, swap-phase end, CTA start) and bulk-credit the
+    #: skipped span into the idle/occupancy counters.  Statistics are
+    #: byte-identical to the per-cycle reference path (asserted by
+    #: tests/test_fastforward_equivalence.py); only wall-clock time changes.
+    #: The sanitizer, fault injection, and tracers pin the reference path
+    #: regardless of this flag, since they observe individual cycles.
+    fast_forward: bool = True
+
     # ---- robustness ---------------------------------------------------------
     #: Run the per-cycle invariant sanitizer (see :mod:`repro.sim.sanitizer`).
     #: Off by default: it costs simulation speed, not correctness.

@@ -12,6 +12,9 @@ from __future__ import annotations
 
 from repro.sim.cta import CTA, CTAState
 
+#: "No event scheduled": a cycle count no simulation ever reaches.
+FOREVER = 1 << 60
+
 
 class ResourceAccounting:
     """Per-SM register/shared-memory/warp-slot bookkeeping."""
@@ -88,6 +91,20 @@ class CTAManagerBase:
 
     def is_schedulable(self, cta: CTA, now: int) -> bool:
         return cta.schedulable_now(now)
+
+    def next_event(self, now: int) -> int:
+        """Earliest future cycle at which this manager, given that no warp
+        issues anywhere before it, would do anything observable in
+        :meth:`update` (state transition, swap-busy accounting, promotion).
+
+        The base managers are purely reactive — their ``update`` is a
+        no-op — so they never schedule an event.  The fast-forward engine
+        (:meth:`repro.sim.gpu.GPU.launch`) folds this horizon into the SM's
+        next-event cycle; returning an *earlier* cycle than necessary is
+        merely a wasted wake-up, returning a *later* one breaks the
+        byte-identical-stats guarantee.
+        """
+        return FOREVER
 
     def swap_in_flight(self) -> bool:
         """Whether a context switch is busy (always False without VT);

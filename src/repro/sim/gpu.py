@@ -118,42 +118,54 @@ class GPU:
 
         limit = max_cycles if max_cycles is not None else cfg.max_cycles
         progress = ProgressTracker(cfg.progress_window)
+        # The fast-forward engine skips provably-dead cycles; anything that
+        # observes individual cycles (sanitizer, fault plans, tracers) pins
+        # the per-cycle reference path.
+        fast_forward = (cfg.fast_forward and tracer is None and faults is None
+                        and not cfg.sanitize)
+        for sm in sms:
+            sm.allow_fast = fast_forward
         next_cta = 0
         now = 0
         rr_offset = 0
+        num_sms = len(sms)
+        fill_first = cfg.cta_dispatch == "fill-first"
+        # Only the VT manager ever has a context switch in flight; skip the
+        # per-SM query entirely on the other architectures.
+        vt_mode = cfg.arch == ArchMode.VT
         while True:
             # Dispatch: at most one CTA per SM per cycle.  Round-robin
             # rotates the starting SM each cycle (GigaThread-style fairness);
             # fill-first always starts at SM 0.
             dispatched = False
             if next_cta < total_ctas:
-                fill_first = cfg.cta_dispatch == "fill-first"
                 if fill_first:
-                    order = range(len(sms))
-                else:
-                    order = [(rr_offset + i) % len(sms) for i in range(len(sms))]
-                    rr_offset = (rr_offset + 1) % len(sms)
-                for sm_index in order:
-                    sm = sms[sm_index]
-                    if next_cta >= total_ctas:
-                        break
-                    if sm.manager.can_accept(kernel):
-                        cta = CTA(
-                            cta_id=next_cta,
-                            ctaid=self._cta_coords(next_cta, grid),
-                            kernel=kernel,
-                            grid_dim=grid,
-                            params=params,
-                            cfg=cfg,
-                            start_cycle=now + cfg.cta_launch_latency,
-                        )
-                        sm.assign_cta(cta, now)
-                        next_cta += 1
-                        dispatched = True
-                        if fill_first:
-                            # One CTA per cycle, always packed into the
-                            # lowest-numbered SM with room.
+                    # One CTA per cycle, always packed into the
+                    # lowest-numbered SM with room.
+                    for sm in sms:
+                        if sm.manager.can_accept(kernel):
+                            sm.assign_cta(
+                                self._make_cta(next_cta, kernel, grid, params, now),
+                                now)
+                            next_cta += 1
+                            dispatched = True
                             break
+                else:
+                    # The rotation advances every cycle CTAs remain, whether
+                    # or not one lands; indices are computed on the fly so
+                    # idle dispatch cycles allocate nothing.
+                    start = rr_offset
+                    rr_offset = (rr_offset + 1) % num_sms
+                    for i in range(num_sms):
+                        if next_cta >= total_ctas:
+                            break
+                        sm = sms[(start + i) % num_sms]
+                        if sm.manager.can_accept(kernel):
+                            sm.assign_cta(
+                                self._make_cta(next_cta, kernel, grid, params, now),
+                                now)
+                            next_cta += 1
+                            dispatched = True
 
             issued = 0
             swap_busy = False
@@ -161,7 +173,7 @@ class GPU:
             for sm in sms:
                 if not sm.idle:
                     issued += sm.step(now)
-                    if sm.manager.swap_in_flight():
+                    if vt_mode and sm.manager.swap_in_flight():
                         swap_busy = True
                 if sm.mem_horizon > mem_horizon:
                     mem_horizon = sm.mem_horizon
@@ -175,6 +187,33 @@ class GPU:
 
             if next_cta >= total_ctas and all(sm.idle for sm in sms):
                 break
+
+            if fast_forward and not issued and not (
+                    next_cta < total_ctas
+                    and any(sm.manager.can_accept(kernel) for sm in sms)):
+                # This cycle was dead and the next one cannot dispatch:
+                # jump to the earliest event across SMs, bulk-crediting the
+                # skipped span.  Every non-idle SM just took a zero-issue
+                # step, so its cached ``next_wake`` is fresh.  Capped at the
+                # watchdog deadline and the hard cycle budget so both fire
+                # at reference-exact cycles.
+                target = limit
+                for sm in sms:
+                    if not sm.idle and sm.next_wake < target:
+                        target = sm.next_wake
+                if not swap_busy:
+                    deadline = progress.stall_deadline()
+                    if deadline < target:
+                        target = deadline
+                if target > now + 1:
+                    for sm in sms:
+                        if not sm.idle:
+                            sm.fast_forward(now + 1, target)
+                    progress.observe_span(now + 1, target, swap_busy)
+                    if next_cta < total_ctas and not fill_first:
+                        rr_offset = (rr_offset + target - now - 1) % num_sms
+                    now = target - 1
+
             now += 1
             if progress.deadlocked(now):
                 reason = (
@@ -200,6 +239,17 @@ class GPU:
         )
 
     # -- helpers ---------------------------------------------------------------
+
+    def _make_cta(self, cta_id: int, kernel: Kernel, grid, params, now: int) -> CTA:
+        return CTA(
+            cta_id=cta_id,
+            ctaid=self._cta_coords(cta_id, grid),
+            kernel=kernel,
+            grid_dim=grid,
+            params=params,
+            cfg=self.cfg,
+            start_cycle=now + self.cfg.cta_launch_latency,
+        )
 
     def _check_kernel_fits(self, kernel: Kernel) -> None:
         cfg = self.cfg

@@ -309,6 +309,32 @@ class ProgressTracker:
         if issued or swap_busy or dispatched or now < self.horizon:
             self.last_progress = now
 
+    def observe_span(self, start: int, stop: int, swap_busy: bool) -> None:
+        """Bulk equivalent of per-cycle :meth:`observe` over the dead span
+        ``[start, stop)`` skipped by the fast-forward engine.
+
+        During such a span nothing issues and nothing dispatches, the
+        swap-engine state is constant (a phase boundary would have ended
+        the span), and ``mem_horizon`` cannot grow (it only moves on
+        issue) — so progress at cycle ``t`` reduces to ``swap_busy or
+        t < horizon`` and the latest progressing cycle is closed-form."""
+        if swap_busy:
+            self.last_progress = stop - 1
+        elif self.horizon > start:
+            latest = min(stop - 1, self.horizon - 1)
+            if latest > self.last_progress:
+                self.last_progress = latest
+
+    def stall_deadline(self) -> int:
+        """First cycle at which :meth:`deadlocked` would fire assuming no
+        issue, dispatch, or swap activity from here on (memory responses
+        already in flight keep counting as progress until ``horizon``).
+        The fast-forward engine never skips past this cycle, so a deadlock
+        raises at exactly the same cycle as under the reference engine."""
+        if self.window <= 0:
+            return 1 << 60
+        return max(self.last_progress, self.horizon - 1) + self.window + 1
+
     def stalled_cycles(self, now: int) -> int:
         return now - self.last_progress
 

@@ -85,25 +85,33 @@ class GtoScheduler(SchedulerBase):
 
 
 class TwoLevelScheduler(SchedulerBase):
-    """Two-level scheduler with a bounded active set."""
+    """Two-level scheduler with a bounded active set.
+
+    ``_active`` keeps promotion order for the LRR rotation; ``_active_set``
+    mirrors it for O(1) membership, so one refill pass over ``n`` resident
+    warps is O(n) instead of the O(n·active_size) list scan it used to be.
+    """
 
     def __init__(self, active_size: int = 8):
         super().__init__()
         self.active_size = active_size
         self._active: list[Warp] = []
+        self._active_set: set[Warp] = set()
         self._next = 0
 
     def remove_warp(self, warp):
         super().remove_warp(warp)
-        if warp in self._active:
+        if warp in self._active_set:
             self._active.remove(warp)
+            self._active_set.discard(warp)
 
     def _refill(self, issuable):
         if len(self._active) >= self.active_size:
             return
         for warp in self.warps:
-            if warp not in self._active and issuable(warp):
+            if warp not in self._active_set and issuable(warp):
                 self._active.append(warp)
+                self._active_set.add(warp)
                 if len(self._active) >= self.active_size:
                     return
 
@@ -120,6 +128,7 @@ class TwoLevelScheduler(SchedulerBase):
             # Demote stalled warps and retry once so a pending ready warp
             # can be promoted within the same cycle.
             self._active = [w for w in self._active if issuable(w)]
+            self._active_set = set(self._active)
             self._next = 0
         return None
 

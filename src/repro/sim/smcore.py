@@ -18,6 +18,7 @@ from __future__ import annotations
 from repro.isa.opcodes import Op, OpClass
 from repro.sim.cache import L1Cache
 from repro.sim.cta import CTA, CTAState
+from repro.sim.ctamanager import FOREVER as _FOREVER
 from repro.sim.exec import functional_step
 from repro.sim.ldst import bank_conflict_passes, coalesce
 from repro.sim.schedulers import make_scheduler
@@ -30,7 +31,6 @@ ST_ALU = 2  # blocked on a short (non-memory) dependence
 ST_BARRIER = 3
 ST_FINISHED = 4
 
-_FOREVER = 1 << 60
 _OCCUPANCY_STRIDE = 16  # occupancy is sampled every N cycles
 
 
@@ -59,10 +59,19 @@ class SMCore:
         # legitimately arrive (capped by max_pending_latency); the progress
         # watchdog treats cycles before this horizon as forward progress.
         self.mem_horizon = 0
+        # Fast-forward engine state (see GPU.launch): after a zero-issue
+        # step the SM caches its next-event cycle and idle class; while
+        # ``next_wake > now`` every step is provably dead and collapses to
+        # O(1) accounting.  ``allow_fast`` is set by the launch loop; the
+        # reference engine never primes the cache.
+        self.allow_fast = False
+        self.next_wake = 0
+        self._idle_kind = "empty"
 
     # -- CTA lifecycle -------------------------------------------------------
 
     def assign_cta(self, cta: CTA, now: int) -> None:
+        self.next_wake = 0  # new CTA: the cached dead-cycle horizon is stale
         self.manager.on_assign(cta, now)
         for warp in cta.warps:
             self.schedulers[self._next_sched].add_warp(warp)
@@ -212,24 +221,50 @@ class SMCore:
     def step(self, now: int) -> int:
         """Advance one cycle; returns the number of instructions issued
         (the launch loop's forward-progress signal)."""
-        self.stats.cycles += 1
+        stats = self.stats
+        if self.next_wake > now:
+            # Provably-dead cycle: a previous zero-issue step computed the
+            # next event and nothing can change before it, so the reference
+            # path's per-cycle accounting collapses to O(1) bookkeeping —
+            # no scheduler scan, no scoreboard reads, no manager update
+            # (whose only per-cycle effect before the event is the swap
+            # engine's busy credit, replicated here).
+            stats.cycles += 1
+            stats.issue_slots += len(self.schedulers)
+            if now % _OCCUPANCY_STRIDE == 0:
+                self._sample_occupancy(now)
+            stats.add_idle(self._idle_kind, 1)
+            if self.manager.swap_in_flight():
+                stats.swap_busy_cycles += 1
+            return 0
+        stats.cycles += 1
         self.manager.update(now, lambda warp: self._status(warp, now))
 
         issued = 0
         for scheduler in self.schedulers:
-            self.stats.issue_slots += 1
+            stats.issue_slots += 1
             if not scheduler.warps:
                 continue
             warp = scheduler.pick(lambda w: self._issuable(w, now))
             if warp is not None:
                 self._issue(warp, now)
                 issued += 1
-                self.stats.issued_slots += 1
+                stats.issued_slots += 1
 
         if now % _OCCUPANCY_STRIDE == 0:
             self._sample_occupancy(now)
         if issued == 0:
-            self._classify_idle(now)
+            if self.allow_fast:
+                # Prime the dead-cycle cache in the same pass that
+                # classifies the idle cycle: statuses cannot change before
+                # the next event, so until then steps replay this cycle's
+                # accounting verbatim.
+                kind, event = self._dead_scan(now)
+                self._idle_kind = kind
+                self.next_wake = event
+            else:
+                kind = self._idle_class(now)
+            stats.add_idle(kind, 1)
         if self.sanitizer is not None:
             self.sanitizer.check_sm(self, now)
         return issued
@@ -242,15 +277,59 @@ class SMCore:
         self.stats.resident_warp_samples += manager.resident_warp_count()
         self.stats.schedulable_warp_samples += manager.schedulable_warp_count(now)
 
-    def _classify_idle(self, now: int) -> None:
-        stats = self.stats
+    def _idle_class(self, now: int) -> str:
+        """Idle-classification key for a zero-issue cycle at ``now`` (one of
+        :data:`repro.sim.stats.IDLE_KINDS`).  Shared by the per-cycle path
+        and the fast-forward bulk credit so both engines classify a dead
+        cycle identically."""
+        return self._dead_scan(now)[0]
+
+    # -- fast-forward support -----------------------------------------------------
+
+    def next_event(self, now: int) -> int:
+        """Earliest future cycle at which this SM's observable behaviour can
+        change, assuming no warp issues anywhere before it.
+
+        This is the SM's half of the next-event contract (see
+        docs/ARCHITECTURE.md): the minimum over
+
+        * the manager's own horizon (VT swap-engine phase end, inactive-CTA
+          activation readiness, timeout-trigger deadlines),
+        * the launch latency of CTAs seated but not yet schedulable,
+        * cached warp wake times for blocked warps of schedulable CTAs
+          (scoreboard release, barrier-release wake), and
+        * structural-pipeline free times for READY warps that could not
+          issue this cycle (LD/ST, shared-memory, SFU ports, MSHR file).
+
+        Only valid immediately after a :meth:`step` that issued nothing:
+        a READY warp that is not structurally blocked would contradict the
+        zero-issue premise.  Returning too-early cycles wastes a wake-up;
+        returning too-late cycles would skip a live cycle and break the
+        byte-identical-stats guarantee.
+        """
+        return self._dead_scan(now)[1]
+
+    def _dead_scan(self, now: int) -> tuple[str, int]:
+        """One pass over resident warps computing ``(idle class, next
+        event)`` for a zero-issue cycle — the hot primitive behind both
+        :meth:`_idle_class` and :meth:`next_event`, fused because every
+        dead-cycle discovery needs both."""
+        manager = self.manager
+        event = manager.next_event(now)
         n_ready = n_alu = n_mem = n_barrier = 0
         any_swap = False
         any_resident = False
-        for cta in self.manager.resident:
+        for cta in manager.resident:
             if cta.state in (CTAState.SWAP_OUT, CTAState.SWAP_IN):
                 any_swap = True
-            if not self.manager.is_schedulable(cta, now):
+            if now < cta.start_cycle:
+                # Seated but still inside the dispatcher latency: nothing
+                # about this CTA is observable before its start cycle.
+                if cta.start_cycle < event:
+                    event = cta.start_cycle
+                continue
+            if not manager.is_schedulable(cta, now):
+                # INACTIVE/SWAP_* CTAs wake through the manager's horizon.
                 continue
             for warp in cta.warps:
                 status = self._status(warp, now)
@@ -259,24 +338,77 @@ class SMCore:
                 any_resident = True
                 if status == ST_READY:
                     n_ready += 1
-                elif status == ST_ALU:
-                    n_alu += 1
-                elif status == ST_MEM:
-                    n_mem += 1
-                elif status == ST_BARRIER:
-                    n_barrier += 1
+                    wake = self._ready_wake(warp, now)
+                    if wake < event:
+                        event = wake
+                else:
+                    if status == ST_ALU:
+                        n_alu += 1
+                    elif status == ST_MEM:
+                        n_mem += 1
+                    else:
+                        n_barrier += 1
+                    if warp.status_until < event:
+                        # ST_MEM/ST_ALU scoreboard release or barrier wake;
+                        # warps parked *at* a barrier carry a _FOREVER
+                        # horizon (they only move when another warp issues).
+                        event = warp.status_until
         if not any_resident:
-            if any_swap:
-                stats.idle_cycles_swap += 1
-            else:
-                stats.idle_cycles_empty += 1
+            kind = "swap" if any_swap else "empty"
         elif n_ready:
-            stats.idle_cycles_struct += 1
+            kind = "struct"
         elif n_alu:
-            stats.idle_cycles_alu += 1
+            kind = "alu"
         elif n_mem:
-            stats.idle_cycles_mem += 1
+            kind = "mem"
         elif n_barrier:
-            stats.idle_cycles_barrier += 1
+            kind = "barrier"
         else:  # pragma: no cover - defensive
-            stats.idle_cycles_empty += 1
+            kind = "empty"
+        return kind, event
+
+    def _ready_wake(self, warp, now: int) -> int:
+        """When a READY-but-unissued warp's structural hazard clears."""
+        instr = warp.cta.kernel.instrs[warp.pc]
+        op_class = instr.info.op_class
+        if op_class is OpClass.MEM_GLOBAL:
+            wake = self._ldst_free
+            if not instr.is_store:
+                mshr_free = self.l1.earliest_mshr_free(now)
+                if mshr_free > wake:
+                    wake = mshr_free
+            return max(wake, now + 1)
+        if op_class is OpClass.MEM_SHARED:
+            return max(self._smem_free, now + 1)
+        if op_class is OpClass.SFU:
+            return max(self._sfu_free, now + 1)
+        return now + 1  # pragma: no cover - a hazard-free READY warp issues
+
+    def fast_forward(self, start: int, stop: int) -> None:
+        """Credit cycles ``[start, stop)`` as verified-dead cycles.
+
+        The caller (the fast-forward engine in :meth:`GPU.launch`)
+        guarantees no event falls inside the span, so every per-cycle
+        quantity is constant across it and the reference engine's
+        cycle-by-cycle accounting collapses to arithmetic: cycle and
+        issue-slot counters, occupancy samples on the
+        ``_OCCUPANCY_STRIDE`` grid, one idle class for the whole span, and
+        the VT swap engine's per-cycle busy credit."""
+        span = stop - start
+        stats = self.stats
+        manager = self.manager
+        stats.cycles += span
+        stats.issue_slots += len(self.schedulers) * span
+        samples = (stop - 1) // _OCCUPANCY_STRIDE - (start - 1) // _OCCUPANCY_STRIDE
+        if samples:
+            stats.occupancy_samples += samples
+            stats.resident_cta_samples += samples * len(manager.resident)
+            stats.active_cta_samples += samples * manager.active_cta_count
+            stats.resident_warp_samples += samples * manager.resident_warp_count()
+            stats.schedulable_warp_samples += (
+                samples * manager.schedulable_warp_count(start))
+        stats.add_idle(self._idle_kind, span)
+        if manager.swap_in_flight():
+            # update() adds one busy cycle per cycle while a switch phase
+            # is draining; the span never crosses a phase boundary.
+            stats.swap_busy_cycles += span

@@ -19,6 +19,13 @@ def _filtered(cls, data: dict) -> dict:
     return {k: v for k, v in data.items() if k in known}
 
 
+#: Idle-cycle classification keys, in reporting order.  Each maps to an
+#: ``idle_cycles_<kind>`` counter on :class:`SMStats`; both the per-cycle
+#: reference engine and the fast-forward engine account through
+#: :meth:`SMStats.add_idle` so the two can never drift apart.
+IDLE_KINDS = ("mem", "alu", "barrier", "struct", "swap", "empty")
+
+
 @dataclass
 class SMStats:
     """Raw per-SM counters."""
@@ -54,6 +61,11 @@ class SMStats:
     smem_bank_conflict_passes: int = 0
     global_transactions: int = 0
     ctas_completed: int = 0
+
+    def add_idle(self, kind: str, count: int = 1) -> None:
+        """Credit ``count`` cycles to one idle class (see :data:`IDLE_KINDS`)."""
+        attr = "idle_cycles_" + kind
+        setattr(self, attr, getattr(self, attr) + count)
 
     @property
     def idle_cycles(self) -> int:

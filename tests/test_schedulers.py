@@ -124,3 +124,111 @@ def test_empty_scheduler_returns_none():
         s.remove_warp(s.warps[0])
         assert s.warps == []
         assert s.pick(always) is None
+
+
+def test_lrr_rotation_fairness():
+    """Over any window of N consecutive all-ready picks, every warp is
+    chosen exactly once per lap — no warp is starved or double-served."""
+    s = LrrScheduler()
+    ws = warps(5)
+    for w in ws:
+        s.add_warp(w)
+    picks = [s.pick(always) for _ in range(25)]
+    for lap in range(5):
+        window = picks[lap * 5:(lap + 1) * 5]
+        assert sorted(w.name for w in window) == sorted(w.name for w in ws)
+
+
+def test_lrr_resumes_after_stalled_warp_recovers():
+    s = LrrScheduler()
+    ws = warps(3)
+    for w in ws:
+        s.add_warp(w)
+    assert s.pick(lambda w: w is not ws[0]) is ws[1]
+    # w0 recovers; rotation continues from after w1, reaching w0 last.
+    assert s.pick(always) is ws[2]
+    assert s.pick(always) is ws[0]
+
+
+def test_gto_greedy_slot_cleared_on_remove():
+    """Removing the greedy warp must reset the greedy slot itself, not
+    merely drop the warp from the age list — a stale reference would keep
+    scheduling a retired warp."""
+    s = GtoScheduler()
+    ws = warps(3)
+    for w in ws:
+        s.add_warp(w)
+    assert s.pick(always) is ws[0]
+    assert s._greedy is ws[0]
+    s.remove_warp(ws[0])
+    assert s._greedy is None
+    assert s.pick(always) is ws[1]
+
+
+def test_gto_remove_non_greedy_keeps_greedy():
+    s = GtoScheduler()
+    ws = warps(3)
+    for w in ws:
+        s.add_warp(w)
+    s.pick(always)  # greedy on w0
+    s.remove_warp(ws[1])
+    assert s._greedy is ws[0]
+    assert s.pick(always) is ws[0]
+
+
+def test_gto_greedy_cleared_when_nothing_issuable():
+    s = GtoScheduler()
+    ws = warps(2)
+    for w in ws:
+        s.add_warp(w)
+    s.pick(always)
+    assert s.pick(lambda w: False) is None
+    assert s._greedy is None
+
+
+def test_two_level_demote_and_promote_same_cycle():
+    """When the whole active set stalls, a single pick() call must demote
+    the stalled warps and promote a ready pending warp — the replacement
+    issues in the same cycle, not one cycle later."""
+    s = TwoLevelScheduler(active_size=2)
+    ws = warps(4)
+    for w in ws:
+        s.add_warp(w)
+    s.pick(always)  # active set = {w0, w1}
+    assert set(s._active) == {ws[0], ws[1]}
+    picked = s.pick(lambda w: w is ws[3])
+    assert picked is ws[3]
+    assert ws[3] in s._active
+
+
+def test_two_level_active_set_mirror_consistent():
+    """The O(1) membership mirror must track the active list through
+    refills, demotions, and removals."""
+    s = TwoLevelScheduler(active_size=3)
+    ws = warps(6)
+    for w in ws:
+        s.add_warp(w)
+    s.pick(always)
+    assert s._active_set == set(s._active)
+    # Demote two of the three active warps.
+    survivors = set(s._active[:1])
+    s.pick(lambda w: w in survivors or w in (ws[4], ws[5]))
+    assert s._active_set == set(s._active)
+    # Remove an active warp outright (CTA retired).
+    victim = s._active[0]
+    s.remove_warp(victim)
+    assert victim not in s._active
+    assert s._active_set == set(s._active)
+    s.pick(always)
+    assert s._active_set == set(s._active)
+
+
+def test_two_level_refill_preserves_age_order():
+    s = TwoLevelScheduler(active_size=2)
+    ws = warps(4)
+    for w in ws:
+        s.add_warp(w)
+    # Only the two youngest are issuable; the refill scan still walks the
+    # owner list in age order, so they fill the active set in that order.
+    s.pick(lambda w: w in (ws[2], ws[3]))
+    assert s._active == [ws[2], ws[3]]
