@@ -477,13 +477,35 @@ def e10_mem_latency(cfg: GPUConfig | None = None, scale: float = 1.0,
 # E11 — hardware overhead
 # ---------------------------------------------------------------------------
 
-def e11_overhead(cfg: GPUConfig | None = None):
-    """Overhead table: VT's backup SRAM next to the memory it virtualizes."""
+def e11_overhead(cfg: GPUConfig | None = None, liveness: bool = False):
+    """Overhead table: VT's backup SRAM next to the memory it virtualizes.
+
+    With ``liveness=True`` a second table contrasts VT's scheduling-only
+    switch with a hypothetical register-spilling switch, priced both at
+    the declared footprint and at the liveness-compressed footprint (live
+    registers at barriers / post-global-load swap points, from the static
+    analysis package).  The default table is byte-identical either way.
+    """
     cfg = cfg or default_config()
     report_obj = vt_overhead(cfg)
     report = format_table(("item", "value"), report_obj.rows(),
                           title="E11 - Virtual Thread hardware overhead per SM")
-    return report, {"overhead": report_obj}
+    data = {"overhead": report_obj}
+    if liveness:
+        from repro.core.overhead import liveness_swap_footprint
+
+        footprints = [liveness_swap_footprint(b.kernel) for b in all_benchmarks()]
+        rows = [(fp.kernel_name, fp.declared_regs, fp.live_regs,
+                 fp.declared_bytes, fp.live_bytes, f"{fp.compression:.0%}")
+                for fp in footprints]
+        report += "\n\n" + format_table(
+            ("kernel", "declared regs", "live@swap regs",
+             "spill B/CTA (declared)", "spill B/CTA (live)", "saved"),
+            rows,
+            title="E11b - liveness-compressed register spill per context "
+                  "switch (hypothetical; VT itself moves scheduling state only)")
+        data["footprints"] = {fp.kernel_name: fp for fp in footprints}
+    return report, data
 
 
 # ---------------------------------------------------------------------------

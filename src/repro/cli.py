@@ -128,6 +128,8 @@ def cmd_experiment(args) -> int:
     # process-isolated sweep orchestrator (static tables have no runs).
     if "jobs" in params and args.jobs is not None:
         kwargs["jobs"] = args.jobs
+    if "liveness" in params and args.liveness:
+        kwargs["liveness"] = True
     report, _data = fn(**kwargs)
     print(report)
     return 0
@@ -206,6 +208,52 @@ def cmd_disasm(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.isa.analysis import RULES, lint_kernel
+
+    if args.all and args.benchmark:
+        print("error: pass either --all or a benchmark name, not both",
+              file=sys.stderr)
+        return 2
+    if args.benchmark:
+        benches = [get(args.benchmark)]
+    else:
+        benches = list(all_benchmarks())
+    reports = [lint_kernel(bench.kernel) for bench in benches]
+    print(f"linting {len(benches)} kernel(s): "
+          f"{', '.join(bench.name for bench in benches[:8])}"
+          f"{', ...' if len(benches) > 8 else ''}\n")
+
+    rows = []
+    for rep in reports:
+        for f in rep.findings:
+            rows.append((f.kernel, f.pc if f.pc is not None else "-",
+                         f.rule, f.severity, f.message))
+    if rows:
+        print(format_table(("kernel", "pc", "rule", "severity", "finding"), rows,
+                           title="lint findings"))
+    else:
+        print("lint findings: none")
+
+    counts = {rule: 0 for rule in RULES}
+    for rep in reports:
+        for f in rep.findings:
+            counts[f.rule] += 1
+    summary = [(rule, RULES[rule][0], counts[rule], RULES[rule][1])
+               for rule in RULES]
+    print()
+    print(format_table(("rule", "severity", "findings", "description"), summary,
+                       title=f"rule summary ({len(reports)} kernels)"))
+
+    failed = [rep.kernel for rep in reports if not rep.ok(strict=args.strict)]
+    gate = "errors or warnings" if args.strict else "errors"
+    if failed:
+        print(f"\nFAIL ({gate}): {', '.join(failed)}")
+        return 1
+    print(f"\nOK: no {gate} across {len(reports)} kernel(s)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -250,6 +298,9 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("--jobs", type=positive_int, default=None,
                        help="run the experiment's simulations through the "
                             "process-isolated orchestrator with N workers")
+    exp_p.add_argument("--liveness", action="store_true",
+                       help="E11 only: add the liveness-compressed register "
+                            "swap-footprint table (default tables unchanged)")
     exp_p.set_defaults(fn=cmd_experiment)
 
     sweep_p = sub.add_parser(
@@ -304,6 +355,18 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p = sub.add_parser("profile", help="static kernel profile")
     prof_p.add_argument("benchmark")
     prof_p.set_defaults(fn=cmd_profile)
+
+    lint_p = sub.add_parser(
+        "lint", help="static kernel verifier: dataflow, barrier, shared-memory "
+                     "and structural checks")
+    lint_p.add_argument("benchmark", nargs="?", default=None,
+                        help="benchmark to lint (default: every registry kernel)")
+    lint_p.add_argument("--all", action="store_true",
+                        help="lint every registry kernel (the default when no "
+                             "benchmark is named)")
+    lint_p.add_argument("--strict", action="store_true",
+                        help="fail on warnings as well as errors")
+    lint_p.set_defaults(fn=cmd_lint)
 
     return parser
 

@@ -1,0 +1,201 @@
+"""Generic forward/backward dataflow framework over ``isa/cfg.py`` blocks.
+
+Every static pass in this package (liveness, uninitialized-register
+reachability, affine address analysis) is an instance of the classic
+iterative dataflow scheme: a lattice of facts, a meet operator joining
+facts at control-flow merges, and a per-instruction transfer function.
+:func:`solve` runs the worklist algorithm over the basic blocks produced
+by :func:`repro.isa.cfg.build_cfg` until a fixpoint, then
+:meth:`Solution.at` replays block transfers to expose the fact holding at
+every individual PC.
+
+The framework is deliberately small: passes subclass
+:class:`DataflowProblem`, provide ``boundary`` / ``init`` / ``meet`` /
+``transfer``, and get per-PC results.  Facts must be immutable (or
+treated as such) — transfer functions return new facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.cfg import BasicBlock, build_cfg
+from repro.isa.opcodes import Op
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+class CFGView:
+    """Basic blocks of one instruction sequence plus derived edge maps.
+
+    Wraps :func:`build_cfg` with the predecessor map, entry-reachability,
+    and an instruction-level successor relation — everything the analyses
+    and lint rules need, computed once and shared.
+    """
+
+    def __init__(self, instrs):
+        self.instrs = list(instrs)
+        self.blocks: list[BasicBlock] = build_cfg(self.instrs)
+        self.preds: list[list[int]] = [[] for _ in self.blocks]
+        for block in self.blocks:
+            for succ in block.successors:
+                self.preds[succ].append(block.index)
+        self.block_of_pc: list[int] = [0] * len(self.instrs)
+        for block in self.blocks:
+            for pc in range(block.start, block.end):
+                self.block_of_pc[pc] = block.index
+        self.reachable: set[int] = self._reachable_blocks()
+
+    def _reachable_blocks(self) -> set[int]:
+        seen = {0}
+        work = [0]
+        while work:
+            for succ in self.blocks[work.pop()].successors:
+                if succ not in seen:
+                    seen.add(succ)
+                    work.append(succ)
+        return seen
+
+    def pc_reachable(self, pc: int) -> bool:
+        return self.block_of_pc[pc] in self.reachable
+
+    def instr_successors(self, pc: int) -> list[int]:
+        """Successor PCs of one instruction (empty for EXIT / fall-off)."""
+        instr = self.instrs[pc]
+        n = len(self.instrs)
+        if instr.op is Op.EXIT:
+            return []
+        if instr.op is Op.BRA:
+            succs = [instr.target]
+            if instr.pred is not None and pc + 1 < n:
+                succs.append(pc + 1)
+            return succs
+        return [pc + 1] if pc + 1 < n else []
+
+
+class DataflowProblem:
+    """One dataflow analysis: lattice + transfer, direction-agnostic."""
+
+    direction = FORWARD
+
+    def boundary(self):
+        """Fact at the entry (forward) or exit (backward) of the CFG."""
+        raise NotImplementedError
+
+    def init(self):
+        """Initial optimistic fact for every other block boundary."""
+        raise NotImplementedError
+
+    def meet(self, a, b):
+        """Combine facts arriving over multiple CFG edges."""
+        raise NotImplementedError
+
+    def transfer(self, pc: int, instr, fact):
+        """Fact after executing ``instr`` at ``pc`` given ``fact`` before it
+        (in analysis direction: "before" means above for forward passes,
+        below for backward passes)."""
+        raise NotImplementedError
+
+
+@dataclass
+class Solution:
+    """Fixpoint facts at block boundaries, with per-PC replay."""
+
+    problem: DataflowProblem
+    cfg: CFGView
+    block_in: list  # fact at block entry (forward) / block bottom (backward)
+    block_out: list
+
+    def at(self, pc: int):
+        """The fact holding immediately *before* ``pc`` executes (forward
+        passes) or the fact *live into* ``pc`` (backward passes)."""
+        problem, cfg = self.problem, self.cfg
+        block = cfg.blocks[cfg.block_of_pc[pc]]
+        fact = self.block_in[block.index]
+        if problem.direction == FORWARD:
+            for p in range(block.start, pc):
+                fact = problem.transfer(p, cfg.instrs[p], fact)
+        else:
+            for p in range(block.end - 1, pc - 1, -1):
+                fact = problem.transfer(p, cfg.instrs[p], fact)
+        return fact
+
+    def per_pc(self) -> list:
+        """The :meth:`at` fact for every PC, computed in one sweep."""
+        problem, cfg = self.problem, self.cfg
+        facts = [None] * len(cfg.instrs)
+        for block in cfg.blocks:
+            fact = self.block_in[block.index]
+            if problem.direction == FORWARD:
+                for pc in range(block.start, block.end):
+                    facts[pc] = fact  # fact *before* pc executes
+                    fact = problem.transfer(pc, cfg.instrs[pc], fact)
+            else:
+                for pc in range(block.end - 1, block.start - 1, -1):
+                    fact = problem.transfer(pc, cfg.instrs[pc], fact)
+                    facts[pc] = fact  # fact *live into* pc
+        return facts
+
+
+def solve(problem: DataflowProblem, cfg: CFGView) -> Solution:
+    """Run the worklist algorithm to a fixpoint.
+
+    For forward passes ``block_in`` is the fact at the top of each block
+    and ``block_out`` at the bottom; for backward passes the roles swap
+    (``block_in`` is the fact at the bottom, i.e. where the pass starts
+    transferring from).
+    """
+    forward = problem.direction == FORWARD
+    nblocks = len(cfg.blocks)
+    block_in = [problem.init() for _ in range(nblocks)]
+    block_out = [problem.init() for _ in range(nblocks)]
+
+    if forward:
+        edges_in = cfg.preds
+        edges_out = [b.successors for b in cfg.blocks]
+        boundary_blocks = [0]
+    else:
+        edges_in = [b.successors for b in cfg.blocks]
+        edges_out = cfg.preds
+        # Backward boundary: every block with no successors (EXIT blocks,
+        # fall-off-the-end) plus blocks that never reach an exit (infinite
+        # loops) still converge from ``init``.
+        boundary_blocks = [b.index for b in cfg.blocks if not b.successors]
+
+    for index in boundary_blocks:
+        block_in[index] = problem.boundary()
+
+    def apply_block(index: int):
+        block = cfg.blocks[index]
+        fact = block_in[index]
+        pcs = range(block.start, block.end)
+        if not forward:
+            pcs = reversed(pcs)
+        for pc in pcs:
+            fact = problem.transfer(pc, cfg.instrs[pc], fact)
+        return fact
+
+    work = list(range(nblocks))
+    iterations = 0
+    limit = max(64, 4 * nblocks * nblocks + 16 * len(cfg.instrs))
+    while work:
+        iterations += 1
+        if iterations > limit * 8:  # pragma: no cover - widening safety net
+            raise RuntimeError("dataflow solve did not converge")
+        index = work.pop(0)
+        if edges_in[index] or index in boundary_blocks:
+            merged = None
+            for other in edges_in[index]:
+                merged = block_out[other] if merged is None else problem.meet(merged, block_out[other])
+            if index in boundary_blocks:
+                merged = problem.boundary() if merged is None else problem.meet(merged, problem.boundary())
+            if merged is not None:
+                block_in[index] = merged
+        new_out = apply_block(index)
+        if new_out != block_out[index]:
+            block_out[index] = new_out
+            for succ in edges_out[index]:
+                if succ not in work:
+                    work.append(succ)
+    return Solution(problem=problem, cfg=cfg, block_in=block_in, block_out=block_out)

@@ -1,0 +1,180 @@
+"""Kernel lint driver: run every static pass and report findings.
+
+Each finding carries a stable rule id (catalogued in :data:`RULES` with a
+severity and one-line description — ``docs/LINT.md`` documents each rule
+with an offending example and a fix).  Severities:
+
+* ``error`` — the kernel is wrong: it deadlocks, corrupts memory, or
+  computes with garbage.  Always fails the lint.
+* ``warning`` — very likely wrong, but depends on schedule or data the
+  static analysis cannot see.  Fails only under ``--strict``.
+* ``info`` — possible issue the analysis cannot decide, or a benign
+  modelling choice (deliberate register over-declaration).  Never fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.analysis.affine import affine_solution
+from repro.isa.analysis.barrier import barrier_divergence
+from repro.isa.analysis.dataflow import CFGView
+from repro.isa.analysis.liveness import LivenessInfo, liveness
+from repro.isa.analysis.reaching import uninitialized_reads
+from repro.isa.analysis.shared import out_of_bounds, races, shared_accesses
+from repro.isa.cfg import EXIT_PC, annotate_reconvergence
+from repro.isa.opcodes import Op
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_RANK = {ERROR: 0, WARNING: 1, INFO: 2}
+
+#: rule id -> (default severity, one-line description)
+RULES = {
+    "uninit-read": (ERROR, "read of a register no definition reaches"),
+    "barrier-divergence": (ERROR, "BAR inside a potentially divergent region"),
+    "shared-oob": (ERROR, "shared access outside declared smem_bytes"),
+    "fall-off-end": (ERROR, "control flow can run past the last instruction"),
+    "reg-oob": (ERROR, "register operand outside regs_per_thread"),
+    "shared-race": (WARNING, "conflicting shared accesses with no BAR between"),
+    "unreachable-code": (WARNING, "basic block has no path from kernel entry"),
+    "shared-race-maybe": (INFO, "possible shared race on unanalyzable addresses"),
+    "over-declared-regs": (INFO, "regs_per_thread exceeds any register used"),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint diagnostic for one kernel."""
+
+    kernel: str
+    rule: str
+    severity: str
+    pc: int | None
+    message: str
+
+    def __str__(self) -> str:
+        where = f"pc {self.pc}" if self.pc is not None else "kernel"
+        return f"[{self.severity}] {self.kernel} {where}: {self.rule}: {self.message}"
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All findings for one kernel plus the liveness summary."""
+
+    kernel: str
+    findings: tuple
+    liveness: LivenessInfo
+
+    @property
+    def errors(self) -> list:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def warnings(self) -> list:
+        return [f for f in self.findings if f.severity == WARNING]
+
+    def ok(self, strict: bool = False) -> bool:
+        if self.errors:
+            return False
+        return not (strict and self.warnings)
+
+
+def _sorted(findings: list[Finding]) -> tuple:
+    return tuple(sorted(
+        findings,
+        key=lambda f: (_SEVERITY_RANK[f.severity], f.pc if f.pc is not None else -1,
+                       f.rule)))
+
+
+def lint_kernel(kernel) -> LintReport:
+    """Run every static check over one kernel."""
+    cfg = CFGView(kernel.instrs)
+    annotate_reconvergence(kernel)
+    findings: list[Finding] = []
+
+    def add(rule: str, pc: int | None, message: str, severity: str | None = None):
+        findings.append(Finding(kernel=kernel.name, rule=rule,
+                                severity=severity or RULES[rule][0],
+                                pc=pc, message=message))
+
+    # -- structural --------------------------------------------------------
+    for block in cfg.blocks:
+        if block.index not in cfg.reachable and block.start < block.end:
+            add("unreachable-code", block.start,
+                f"block pcs {block.start}..{block.end - 1} are unreachable")
+    n = len(kernel.instrs)
+    for pc, instr in enumerate(kernel.instrs):
+        if not cfg.pc_reachable(pc):
+            continue
+        if instr.max_reg() >= kernel.regs_per_thread:
+            add("reg-oob", pc,
+                f"r{instr.max_reg()} used but regs_per_thread={kernel.regs_per_thread}")
+        if pc + 1 >= n and instr.op is not Op.EXIT and not (
+                instr.op is Op.BRA and instr.pred is None):
+            add("fall-off-end", pc,
+                f"last instruction is {instr.op.value}, not EXIT "
+                "(or an unconditional branch)")
+
+    # -- uninitialized reads ----------------------------------------------
+    for pc, reg in uninitialized_reads(kernel, cfg):
+        add("uninit-read", pc,
+            f"r{reg} may be read before any write (registers are only "
+            "zero-filled by the simulator, not by the ISA)")
+
+    # -- affine-based checks ----------------------------------------------
+    affine, envs = affine_solution(kernel, cfg)
+    for bd in barrier_divergence(kernel, cfg, affine, envs):
+        reconv = "kernel exit" if bd.reconv_pc == EXIT_PC else f"pc {bd.reconv_pc}"
+        add("barrier-divergence", bd.bar_pc,
+            f"BAR reachable under the divergent branch at pc {bd.branch_pc} "
+            f"(reconverges at {reconv}); threads skipping it deadlock the CTA")
+    accesses = shared_accesses(kernel, cfg, affine, envs)
+    for oob in out_of_bounds(kernel, accesses):
+        add("shared-oob", oob.pc,
+            f"shared access spans bytes [{oob.lo:g}, {oob.hi + 4:g}) but "
+            f"smem_bytes={oob.smem_bytes}")
+    for race in races(kernel, cfg, accesses):
+        if race.proven:
+            add("shared-race", race.pc_b,
+                f"conflicts with pc {race.pc_a} on an overlapping shared word "
+                "with no intervening BAR")
+        else:
+            add("shared-race-maybe", race.pc_b,
+                f"may conflict with pc {race.pc_a}; addresses not statically "
+                "analyzable, no intervening BAR")
+
+    # -- liveness ----------------------------------------------------------
+    live = liveness(kernel, cfg)
+    max_used = max(
+        (instr.max_reg() for pc, instr in enumerate(kernel.instrs)
+         if cfg.pc_reachable(pc)), default=-1)
+    if kernel.regs_per_thread > max_used + 1:
+        add("over-declared-regs", None,
+            f"regs_per_thread={kernel.regs_per_thread} but max register used "
+            f"is r{max_used} (max live pressure {live.max_pressure}); extra "
+            "registers still count against occupancy")
+
+    return LintReport(kernel=kernel.name, findings=_sorted(findings),
+                      liveness=live)
+
+
+def lint_kernels(kernels) -> list[LintReport]:
+    return [lint_kernel(k) for k in kernels]
+
+
+def check_strict(kernel) -> None:
+    """Raise :class:`~repro.isa.kernel.KernelValidationError` when the lint
+    finds errors or warnings; the hook behind the assembler's and
+    :class:`~repro.isa.kernel.KernelBuilder`'s ``strict`` modes."""
+    from repro.isa.kernel import KernelValidationError
+
+    report = lint_kernel(kernel)
+    bad = report.errors + report.warnings
+    if bad:
+        details = "\n".join(f"  {finding}" for finding in bad)
+        raise KernelValidationError(
+            f"kernel {kernel.name!r} fails strict lint "
+            f"({len(bad)} finding(s)):\n{details}")

@@ -104,8 +104,13 @@ def _strip_comment(line: str) -> str:
     return line.strip()
 
 
-def assemble_many(text: str) -> dict[str, Kernel]:
-    """Assemble every ``.kernel`` in ``text``; returns name -> Kernel."""
+def assemble_many(text: str, strict: bool = False) -> dict[str, Kernel]:
+    """Assemble every ``.kernel`` in ``text``; returns name -> Kernel.
+
+    With ``strict=True`` every kernel additionally passes the static
+    verifier (:mod:`repro.isa.analysis`): lint errors *or* warnings raise
+    :class:`~repro.isa.kernel.KernelValidationError`.
+    """
     kernels: dict[str, Kernel] = {}
     state: dict | None = None
 
@@ -229,12 +234,18 @@ def assemble_many(text: str) -> dict[str, Kernel]:
     finish()
     if not kernels:
         raise AssemblerError(0, "no .kernel found")
+    if strict:
+        from repro.isa.analysis import check_strict
+
+        for kernel in kernels.values():
+            check_strict(kernel)
     return kernels
 
 
-def assemble(text: str) -> Kernel:
-    """Assemble exactly one kernel from ``text``."""
-    kernels = assemble_many(text)
+def assemble(text: str, strict: bool = False) -> Kernel:
+    """Assemble exactly one kernel from ``text`` (``strict``: run the
+    static verifier and raise on lint errors/warnings)."""
+    kernels = assemble_many(text, strict=strict)
     if len(kernels) != 1:
         raise AssemblerError(0, f"expected exactly one kernel, found {len(kernels)}")
     return next(iter(kernels.values()))

@@ -22,6 +22,48 @@ class KernelValidationError(ValueError):
     """Raised when a kernel fails static validation."""
 
 
+def _format_operand(operand) -> str:
+    """Render one operand in assembler syntax (round-trip safe)."""
+    if isinstance(operand, Reg):
+        return f"r{operand.idx}"
+    if isinstance(operand, Imm):
+        value = operand.value
+        text = repr(value) if isinstance(value, float) else str(value)
+        # repr(1e+20) is '1e+20'; the assembler's immediate grammar has no
+        # '+' exponent sign, but accepts the equivalent '1e20'.
+        return "#" + text.replace("e+", "e")
+    if isinstance(operand, SReg):
+        return f"%{operand.kind.value}"
+    if isinstance(operand, MemRef):
+        if operand.offset < 0:
+            return f"[r{operand.base.idx}-{-operand.offset}]"
+        if operand.offset:
+            return f"[r{operand.base.idx}+{operand.offset}]"
+        return f"[r{operand.base.idx}]"
+    raise TypeError(f"cannot format operand {operand!r}")
+
+
+def _format_instr(instr: Instruction, pc_labels: dict[int, list[str]]) -> str:
+    """Render one instruction in assembler syntax."""
+    parts = []
+    if instr.pred is not None:
+        parts.append(f"@{'!' if instr.pred_neg else ''}r{instr.pred.idx}")
+    mnemonic = instr.op.value
+    if instr.cmp is not None:
+        mnemonic += f".{instr.cmp.value.upper()}"
+    parts.append(mnemonic)
+    if instr.op is Op.BRA:
+        parts.append(pc_labels[instr.target][0])
+        return " ".join(parts)
+    operands = []
+    if instr.dst is not None:
+        operands.append(_format_operand(instr.dst))
+    operands.extend(_format_operand(s) for s in instr.srcs)
+    if operands:
+        parts.append(", ".join(operands))
+    return " ".join(parts)
+
+
 @dataclass
 class Kernel:
     """An assembled kernel ready for launch.
@@ -66,20 +108,21 @@ class Kernel:
             raise KernelValidationError(f"kernel {self.name!r} has no EXIT")
         if self.threads_per_cta <= 0:
             raise KernelValidationError(f"kernel {self.name!r} has empty CTA {self.cta_dim}")
-        max_reg = max((i.max_reg() for i in self.instrs), default=-1)
-        if max_reg >= self.regs_per_thread:
-            raise KernelValidationError(
-                f"kernel {self.name!r} uses r{max_reg} but declares only "
-                f"{self.regs_per_thread} registers per thread"
-            )
         for pc, instr in enumerate(self.instrs):
             info = OPCODE_INFO[instr.op]
+            if instr.max_reg() >= self.regs_per_thread:
+                raise KernelValidationError(
+                    f"{self.name}@{pc}: {instr!r} uses r{instr.max_reg()} but the "
+                    f"kernel declares only {self.regs_per_thread} registers per "
+                    f"thread (r0..r{self.regs_per_thread - 1})"
+                )
             if instr.op is Op.BRA:
                 if instr.target is None:
                     raise KernelValidationError(f"{self.name}@{pc}: BRA without target")
                 if not 0 <= instr.target < len(self.instrs):
                     raise KernelValidationError(
-                        f"{self.name}@{pc}: branch target {instr.target} out of range"
+                        f"{self.name}@{pc}: branch target {instr.target} is outside "
+                        f"the kernel (valid PCs are 0..{len(self.instrs) - 1})"
                     )
             elif info.has_dst and instr.dst is None:
                 raise KernelValidationError(f"{self.name}@{pc}: {instr.op.value} needs a destination")
@@ -87,15 +130,36 @@ class Kernel:
                 raise KernelValidationError(f"{self.name}@{pc}: SETP without comparison kind")
 
     def disassemble(self) -> str:
-        """Human-readable listing with PCs and labels."""
+        """Listing that re-assembles to an identical kernel.
+
+        The output is valid assembler input (directives, labels, ``// pc``
+        comments), so ``assemble(kernel.disassemble())`` reproduces the
+        same instructions and metadata — the round-trip property the test
+        suite checks for every registry kernel.  Branch targets without a
+        user label get a synthesized ``L<pc>`` label.
+        """
         pc_labels: dict[int, list[str]] = {}
-        for label, pc in self.labels.items():
+        for label, pc in sorted(self.labels.items()):
             pc_labels.setdefault(pc, []).append(label)
-        lines = [f".kernel {self.name}  (regs={self.regs_per_thread}, smem={self.smem_bytes}B, cta={self.cta_dim})"]
+        for instr in self.instrs:
+            if instr.op is Op.BRA and instr.target not in pc_labels:
+                name = f"L{instr.target}"
+                while name in self.labels:
+                    name += "_"
+                pc_labels[instr.target] = [name]
+
+        lines = [
+            f".kernel {self.name}",
+            f".regs {self.regs_per_thread}",
+            f".smem {self.smem_bytes}",
+            ".cta " + " ".join(str(d) for d in self.cta_dim),
+        ]
         for pc, instr in enumerate(self.instrs):
             for label in pc_labels.get(pc, ()):
                 lines.append(f"{label}:")
-            lines.append(f"  {pc:4d}: {instr!r}")
+            lines.append(f"    {_format_instr(instr, pc_labels):<40s} // pc {pc}")
+        for label in pc_labels.get(len(self.instrs), ()):
+            lines.append(f"{label}:")
         return "\n".join(lines)
 
     def __repr__(self) -> str:
@@ -316,12 +380,18 @@ class KernelBuilder:
 
     # -- finalization -----------------------------------------------------------
 
-    def build(self) -> Kernel:
+    def build(self, strict: bool = False) -> Kernel:
+        """Resolve labels and construct the kernel.
+
+        ``strict=True`` additionally runs the static verifier
+        (:mod:`repro.isa.analysis`) and raises
+        :class:`KernelValidationError` on lint errors or warnings.
+        """
         for pc, label in self._fixups:
             if label not in self._labels:
                 raise KernelValidationError(f"undefined label {label!r} in {self.name!r}")
             self._instrs[pc].target = self._labels[label]
-        return Kernel(
+        kernel = Kernel(
             name=self.name,
             instrs=self._instrs,
             regs_per_thread=self.regs_per_thread,
@@ -329,3 +399,8 @@ class KernelBuilder:
             cta_dim=self.cta_dim,
             labels=dict(self._labels),
         )
+        if strict:
+            from repro.isa.analysis import check_strict
+
+            check_strict(kernel)
+        return kernel

@@ -85,6 +85,10 @@ class Sanitizer:
         self.checks = 0
         # (sm_id, cta_id) -> last observed CTAState, for edge legality.
         self._last_state: dict[tuple[int, int], CTAState] = {}
+        # id(kernel) -> (kernel, statically-written regs, pc -> shared bounds),
+        # computed lazily per kernel for the execution cross-check.  The
+        # kernel reference is kept so a recycled id cannot alias.
+        self._static_bounds: dict[int, tuple] = {}
 
     # -- helpers -----------------------------------------------------------
 
@@ -251,6 +255,70 @@ class Sanitizer:
                 self._fail("swap-engine",
                            f"cta {cta.cta_id} is SWAP_IN outside the swap engine",
                            sm.sm_id, now)
+
+    # -- execution cross-check ---------------------------------------------
+
+    def _kernel_bounds(self, kernel):
+        """Static write-set and per-PC shared-address bounds for ``kernel``."""
+        entry = self._static_bounds.get(id(kernel))
+        if entry is None or entry[0] is not kernel:
+            from repro.isa.analysis import (CFGView, affine_solution, liveness,
+                                            shared_accesses)
+
+            cfg = CFGView(kernel.instrs)
+            written = liveness(kernel, cfg).written_regs
+            affine, envs = affine_solution(kernel, cfg)
+            bounds = {access.pc: access.bounds
+                      for access in shared_accesses(kernel, cfg, affine, envs)
+                      if access.bounds is not None}
+            entry = (kernel, written, bounds)
+            self._static_bounds[id(kernel)] = entry
+        return entry
+
+    def check_exec(self, sm, warp, pc: int, instr, result, now: int) -> None:
+        """Cross-check one issued instruction against the static analysis:
+        observed register writes and shared-memory addresses must stay
+        within the bounds the verifier proved.  A mismatch means either
+        the functional model or the static analysis is wrong — both are
+        worth a loud stop.  Called from ``SMCore._issue``."""
+        self.checks += 1
+        kernel = warp.cta.kernel
+        _kernel, written, shared_bounds = self._kernel_bounds(kernel)
+
+        dst = instr.dst_reg()
+        if dst is not None:
+            if dst >= kernel.regs_per_thread:
+                self._fail(
+                    "exec-register-bound",
+                    f"pc {pc} wrote r{dst} outside the declared register file "
+                    f"(regs_per_thread={kernel.regs_per_thread})",
+                    sm.sm_id, now, resource="registers")
+            if dst not in written:
+                self._fail(
+                    "exec-register-bound",
+                    f"pc {pc} wrote r{dst}, which the static analysis says no "
+                    "reachable instruction defines",
+                    sm.sm_id, now, resource="registers")
+
+        if result.mem_space == "shared" and result.addresses is not None \
+                and len(result.addresses):
+            lo_seen = float(result.addresses.min())
+            hi_seen = float(result.addresses.max())
+            if lo_seen < 0 or hi_seen + 4 > kernel.smem_bytes:
+                self._fail(
+                    "exec-shared-bound",
+                    f"pc {pc} touched shared bytes [{lo_seen:g}, {hi_seen + 4:g}) "
+                    f"outside the declared smem_bytes={kernel.smem_bytes}",
+                    sm.sm_id, now, resource="shared memory")
+            static = shared_bounds.get(pc)
+            if static is not None:
+                lo, hi = static
+                if lo_seen < lo or hi_seen > hi:
+                    self._fail(
+                        "exec-shared-bound",
+                        f"pc {pc} touched shared bytes {lo_seen:g}..{hi_seen:g}, "
+                        f"outside the statically proven range {lo:g}..{hi:g}",
+                        sm.sm_id, now, resource="shared memory")
 
     # -- retirement check --------------------------------------------------
 
@@ -428,6 +496,13 @@ def diagnostic_dump(sms, now: int, reason: str, faults=None) -> str:
     sections.append(format_table(
         ("sm", "outstanding fills", "earliest", "latest", "MSHRs free"),
         mem_rows, title="outstanding memory requests"))
+
+    if any(row[5] == "waiting at barrier" for row in warp_rows):
+        sections.append(
+            "hint: warps parked at a barrier that never releases usually mean "
+            "a BAR under divergent control flow — `repro lint <bench>` runs "
+            "the static barrier-divergence check that catches this before "
+            "launch (rule `barrier-divergence` in docs/LINT.md).")
 
     if faults is not None and getattr(faults, "events", None):
         sections.append("injected faults:\n" + "\n".join(

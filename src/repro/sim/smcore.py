@@ -144,8 +144,11 @@ class SMCore:
 
     def _issue(self, warp, now: int) -> None:
         cta = warp.cta
-        instr = cta.kernel.instrs[warp.pc]
+        pc = warp.pc  # functional_step advances it; keep for the sanitizer
+        instr = cta.kernel.instrs[pc]
         result = functional_step(warp, instr, self.gmem)
+        if self.sanitizer is not None:
+            self.sanitizer.check_exec(self, warp, pc, instr, result, now)
         warp.status_until = -1
         warp.instructions_issued += 1
         self.stats.instructions += 1

@@ -122,6 +122,80 @@ b:
     assert len(uncond_block.successors) == 1
 
 
+def test_branch_to_self_forms_single_block_loop():
+    k = _kernel("""
+self:
+    SETP.LT r1, r0, #4
+@r1 BRA self
+    EXIT
+""")
+    blocks = build_cfg(k.instrs)
+    by_start = {b.start: b for b in blocks}
+    loop = by_start[0]
+    assert loop.index in loop.successors  # the self edge
+    # The branch reconverges at its own fallthrough.
+    assert reconvergence_table(k.instrs) == {1: 2}
+
+
+def test_unreachable_block_is_kept_with_no_predecessors():
+    k = _kernel("""
+    BRA end
+    MOV r0, #1
+    MOV r1, #2
+end:
+    EXIT
+""")
+    blocks = build_cfg(k.instrs)
+    by_start = {b.start: b for b in blocks}
+    dead = by_start[1]
+    assert dead.start == 1 and dead.end == 3
+    preds = {succ for b in blocks for succ in b.successors}
+    assert dead.index not in preds
+    covered = sorted(pc for b in blocks for pc in range(b.start, b.end))
+    assert covered == list(range(len(k.instrs)))
+
+
+def test_exit_as_final_instruction_has_no_successors():
+    k = _kernel("MOV r0, #1\nEXIT")
+    blocks = build_cfg(k.instrs)
+    assert blocks[-1].successors == []
+
+
+def test_back_to_back_branches_each_end_a_block():
+    k = _kernel("""
+    SETP.LT r1, r0, #4
+@r1 BRA a
+@r1 BRA b
+a:
+    MOV r2, #1
+b:
+    EXIT
+""")
+    blocks = build_cfg(k.instrs)
+    by_start = {b.start: b for b in blocks}
+    # The first branch ends the entry block; the second gets a block of its
+    # own (it is both a post-branch leader and a block terminator).
+    assert by_start[0].end == 2
+    assert by_start[2].end == 3
+    assert len(by_start[0].successors) == 2
+    assert len(by_start[2].successors) == 2
+
+
+def test_exit_pc_sentinel_when_paths_never_rejoin():
+    k = _kernel("""
+    SETP.LT r1, r0, #4
+@r1 BRA other
+    MOV r2, #1
+    EXIT
+other:
+    MOV r2, #2
+    EXIT
+""")
+    table = reconvergence_table(k.instrs)
+    assert table == {1: EXIT_PC}
+    assert k.instrs[1].reconv_pc == EXIT_PC
+
+
 def test_blocks_cover_all_pcs():
     k = _kernel("""
 top:

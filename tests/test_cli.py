@@ -278,3 +278,37 @@ def test_experiment_jobs_flag_parses():
     args = build_parser().parse_args(
         ["sweep", "--jobs", "3", "--wall-timeout", "60.5", "--retries", "2"])
     assert args.jobs == 3 and args.wall_timeout == 60.5 and args.retries == 2
+
+
+# -- lint: the static kernel verifier ----------------------------------------
+
+
+def test_lint_all_strict_clean(capsys):
+    code, out, _err = run_cli(capsys, "lint", "--all", "--strict")
+    assert code == 0
+    assert "rule summary" in out
+    assert "OK: no errors or warnings" in out
+
+
+def test_lint_single_kernel(capsys):
+    code, out, _err = run_cli(capsys, "lint", "reduction")
+    assert code == 0
+    assert "reduction" in out
+
+
+def test_lint_all_and_name_conflict(capsys):
+    code, _out, err = run_cli(capsys, "lint", "reduction", "--all")
+    assert code == 2
+    assert "not both" in err
+
+
+def test_lint_unknown_benchmark(capsys):
+    code, _out, err = run_cli(capsys, "lint", "nope")
+    assert code == 2
+    assert "unknown benchmark" in err
+
+
+def test_experiment_e11_liveness_flag(capsys):
+    code, out, _err = run_cli(capsys, "experiment", "e11", "--liveness")
+    assert code == 0
+    assert "liveness-compressed" in out

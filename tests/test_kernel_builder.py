@@ -102,7 +102,7 @@ def test_validation_branch_target_range():
         Instruction(op=Op.BRA, target=99),
         Instruction(op=Op.EXIT),
     ]
-    with pytest.raises(KernelValidationError, match="out of range"):
+    with pytest.raises(KernelValidationError, match="outside the kernel"):
         Kernel(name="k", instrs=instrs, regs_per_thread=4)
 
 

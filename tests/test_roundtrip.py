@@ -1,0 +1,84 @@
+"""Round-trip property: ``assemble(kernel.disassemble())`` reproduces every
+registry kernel exactly — instructions, resource metadata, and labels."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.instruction import Imm, MemRef, Reg
+from repro.isa.kernel import KernelBuilder
+from repro.kernels.registry import all_benchmarks
+
+
+@pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda b: b.name)
+def test_registry_kernel_roundtrips(bench):
+    kernel = bench.kernel
+    rebuilt = assemble(kernel.disassemble())
+    assert rebuilt.name == kernel.name
+    assert rebuilt.instrs == kernel.instrs
+    assert rebuilt.regs_per_thread == kernel.regs_per_thread
+    assert rebuilt.smem_bytes == kernel.smem_bytes
+    assert rebuilt.cta_dim == kernel.cta_dim
+    # Original labels survive; synthesized L<pc> labels may be added for
+    # branch targets that had none.
+    assert set(kernel.labels.items()) <= set(rebuilt.labels.items())
+
+
+def test_disassembly_is_valid_assembler_input_twice():
+    kernel = all_benchmarks()[0].kernel
+    once = assemble(kernel.disassemble())
+    twice = assemble(once.disassemble())
+    assert twice.instrs == kernel.instrs
+
+
+def test_synthesized_labels_for_builder_kernels():
+    b = KernelBuilder("loopy", regs_per_thread=8)
+    b.movi(0, 0)
+    b.label("top")
+    b.iadd(0, 0, Imm(1))
+    b.setp("lt", 1, 0, Imm(4))
+    b.bra("top", pred=1)
+    b.exit()
+    kernel = b.build()
+    listing = kernel.disassemble()
+    assert "top:" in listing
+    rebuilt = assemble(listing)
+    assert rebuilt.instrs == kernel.instrs
+
+
+def test_negative_memref_offset_roundtrips():
+    b = KernelBuilder("neg", regs_per_thread=4)
+    b.movi(0, 16)
+    b.ldg(1, 0, offset=-8)
+    b.stg(0, 1, offset=-4)
+    b.exit()
+    kernel = b.build()
+    rebuilt = assemble(kernel.disassemble())
+    assert rebuilt.instrs == kernel.instrs
+    memref = rebuilt.instrs[1].srcs[0]
+    assert isinstance(memref, MemRef) and memref.offset == -8
+
+
+def test_float_and_int_immediates_roundtrip():
+    b = KernelBuilder("imms", regs_per_thread=4)
+    b.movi(0, 5)
+    b.movi(1, 2.5)
+    b.movi(2, 1e-05)
+    b.fmul(3, Reg(1), Imm(-3.0))
+    b.stg(0, 3)
+    b.exit()
+    kernel = b.build()
+    rebuilt = assemble(kernel.disassemble())
+    assert rebuilt.instrs == kernel.instrs
+
+
+def test_predicates_roundtrip():
+    b = KernelBuilder("preds", regs_per_thread=4, cta_dim=(64, 1, 1))
+    b.s2r(0, "tid_x")
+    b.setp("ge", 1, 0, Imm(32))
+    b.movi(2, 1.0, pred=1)
+    b.movi(2, 2.0, pred=1, pred_neg=True)
+    b.stg(0, 2)
+    b.exit()
+    kernel = b.build()
+    rebuilt = assemble(kernel.disassemble())
+    assert rebuilt.instrs == kernel.instrs

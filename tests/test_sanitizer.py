@@ -151,3 +151,102 @@ def test_violation_is_structured():
     assert exc.sm_id == 3 and exc.cycle == 77
     assert exc.invariant == "register-capacity"
     assert "sm3" in str(exc) and "77" in str(exc)
+
+
+# -- execution cross-check against the static analysis -----------------------
+
+
+def _exec_fixtures():
+    import numpy as np
+    from types import SimpleNamespace
+
+    from repro.isa.assembler import assemble
+
+    kernel = assemble("""
+.kernel xcheck
+.regs 8
+.smem 64
+.cta 16
+    S2R r0, %tid_x
+    SHL r1, r0, #2
+    STS [r1], r0
+    BAR
+    LDS r2, [r1]
+    STG [r1], r2
+    EXIT
+""")
+    sanitizer = Sanitizer(scaled_fermi(num_sms=1, sanitize=True))
+    sm = SimpleNamespace(sm_id=0)
+    warp = SimpleNamespace(cta=SimpleNamespace(kernel=kernel))
+
+    def result(space=None, addresses=None):
+        return SimpleNamespace(
+            mem_space=space,
+            addresses=None if addresses is None else np.asarray(addresses))
+
+    return kernel, sanitizer, sm, warp, result
+
+
+def test_check_exec_accepts_in_bounds_access():
+    kernel, sanitizer, sm, warp, result = _exec_fixtures()
+    sanitizer.check_exec(sm, warp, 2, kernel.instrs[2],
+                         result("shared", [0, 4, 60]), now=5)
+    sanitizer.check_exec(sm, warp, 0, kernel.instrs[0], result(), now=5)
+
+
+def test_check_exec_rejects_shared_address_outside_declaration():
+    kernel, sanitizer, sm, warp, result = _exec_fixtures()
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.check_exec(sm, warp, 2, kernel.instrs[2],
+                             result("shared", [0, 64]), now=5)
+    assert excinfo.value.invariant == "exec-shared-bound"
+
+
+def test_check_exec_rejects_address_outside_static_proof():
+    # Bytes 60..64 fit the declaration, but the static analysis proved the
+    # STS at pc 2 only ever touches 4*tid for tid < 16, i.e. up to byte 60;
+    # an *unexpected* in-declaration address is still a cross-check failure.
+    kernel, sanitizer, sm, warp, result = _exec_fixtures()
+    kernel.smem_bytes = 128
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.check_exec(sm, warp, 2, kernel.instrs[2],
+                             result("shared", [100]), now=5)
+    assert excinfo.value.invariant == "exec-shared-bound"
+
+
+def test_check_exec_rejects_statically_unwritten_register():
+    from types import SimpleNamespace
+
+    from repro.isa.assembler import assemble
+
+    kernel = assemble("""
+.kernel deadwrite
+.regs 8
+.cta 16
+    BRA end
+    MOV r5, #1
+end:
+    EXIT
+""")
+    sanitizer = Sanitizer(scaled_fermi(num_sms=1, sanitize=True))
+    sm = SimpleNamespace(sm_id=0)
+    warp = SimpleNamespace(cta=SimpleNamespace(kernel=kernel))
+    result = SimpleNamespace(mem_space=None, addresses=None)
+    # pc 1 is unreachable, so the static write-set excludes r5: observing
+    # the write means control flow escaped the verified CFG.
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.check_exec(sm, warp, 1, kernel.instrs[1], result, now=3)
+    assert excinfo.value.invariant == "exec-register-bound"
+
+
+def test_check_exec_invoked_during_runs(monkeypatch):
+    seen = []
+    original = Sanitizer.check_exec
+
+    def spying(self, sm, warp, pc, instr, result, now):
+        seen.append(pc)
+        return original(self, sm, warp, pc, instr, result, now)
+
+    monkeypatch.setattr(Sanitizer, "check_exec", spying)
+    _run("reduction", "baseline")
+    assert len(seen) > 0
