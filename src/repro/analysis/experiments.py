@@ -103,12 +103,19 @@ def e1_config_table(cfg: GPUConfig | None = None):
 # ---------------------------------------------------------------------------
 
 def e2_benchmark_table(cfg: GPUConfig | None = None):
-    """Table 2: the suite, per-kernel resources, and the limiter class."""
+    """Table 2: the suite, per-kernel resources, and the limiter class.
+
+    The limiter column comes from :func:`repro.core.occupancy.limiter_summary`
+    — the same single source of truth the static oracle and ``repro list``
+    read — never re-derived from raw footprints here.
+    """
     cfg = cfg or default_config()
+    from repro.core.occupancy import limiter_summary
+
     rows = []
     data = {}
     for bench in all_benchmarks():
-        occ = occupancy(bench.kernel, cfg)
+        summary = limiter_summary(bench.kernel, cfg)
         rows.append((
             bench.name,
             bench.suite,
@@ -116,11 +123,11 @@ def e2_benchmark_table(cfg: GPUConfig | None = None):
             "x".join(str(d) for d in bench.kernel.cta_dim if d > 1) or "1",
             bench.kernel.regs_per_thread,
             bench.kernel.smem_bytes,
-            occ.baseline_ctas,
-            occ.capacity_limit_ctas,
-            occ.limiter.value,
+            summary["baseline_ctas"],
+            summary["capacity_ctas"],
+            summary["limiter"],
         ))
-        data[bench.name] = occ
+        data[bench.name] = summary["occupancy"]
     report = format_table(
         ("benchmark", "models", "class", "cta", "regs/t", "smem B",
          "CTAs(base)", "CTAs(cap)", "limiter"),
@@ -632,19 +639,21 @@ def x2_kepler(cfg: GPUConfig | None = None, scale: float = 2.0, subset=SWEEP_SUB
         for arch in (ArchMode.BASELINE, ArchMode.VT):
             runs[(bench.name, arch)] = (bench, kepler.with_(arch=arch), scale)
     records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir)
+    from repro.core.occupancy import limiter_summary
+
     rows = []
     data = {}
     for bench in benches:
-        occ = occupancy(bench.kernel, kepler)
+        summary = limiter_summary(bench.kernel, kepler)
         base = records[(bench.name, ArchMode.BASELINE)]
         vt = records[(bench.name, ArchMode.VT)]
         speedup = base.cycles / vt.cycles
         data[bench.name] = {
             "speedup": speedup,
-            "headroom": occ.vt_headroom,
-            "limiter": occ.limiter.value,
+            "headroom": summary["headroom"],
+            "limiter": summary["limiter"],
         }
-        rows.append((bench.name, occ.limiter.value, f"{occ.vt_headroom:.2f}x",
+        rows.append((bench.name, summary["limiter"], f"{summary['headroom']:.2f}x",
                      base.cycles, vt.cycles, f"x{speedup:.3f}"))
     gm = geomean(d["speedup"] for d in data.values())
     data["geomean"] = gm
@@ -702,6 +711,103 @@ def x3_full_chip(cfg: GPUConfig | None = None, scale: float = 1.0,
         title="X3 (methodology) - scaled chip vs full GTX480-class chip",
     )
     return report, data
+
+
+# ---------------------------------------------------------------------------
+# X4 — static oracle vs simulator: the prediction agreement gate
+# ---------------------------------------------------------------------------
+
+def x4_prediction_table(cfg: GPUConfig | None = None, scale: float = 1.0,
+                        keep_going: bool = True, jobs: int | None = None,
+                        sweep_dir=None):
+    """Predicted vs measured limiter / idle class / VT tier, all kernels.
+
+    The model-vs-measurement discipline behind ``repro predict --check``:
+    for every (kernel, arch) cell the static oracle's limiter class must
+    match :mod:`repro.core.occupancy` and its idle-cycle class must match
+    the simulator's dominant idle kind (``AGREEMENT_TIE`` tolerates
+    genuine near-ties between the measured fractions).  The VT tier
+    columns are reported for inspection but not gated — tier cut points
+    quantize a continuous speedup.
+    """
+    cfg = cfg or default_config()
+    from repro.core.occupancy import limiter_summary
+    from repro.isa.analysis.perf import (idle_agreement, layout_for,
+                                         measured_vt_tier, predict_kernel)
+
+    benches = list(all_benchmarks())
+    archs = (ArchMode.BASELINE, ArchMode.VT)
+    preds = {}
+    for bench in benches:
+        layout = layout_for(bench, scale)
+        for p in predict_kernel(bench.kernel, cfg, archs=archs, layout=layout):
+            preds[(bench.name, p.arch)] = p
+    records = run_matrix(benches, archs, cfg, scale, keep_going=keep_going,
+                         parallel=jobs, journal_dir=sweep_dir)
+
+    rows = []
+    cells = {}
+    disagreements = []
+    failures = {}
+    for bench in benches:
+        by_arch = {arch: records[(bench.name, arch)] for arch in archs}
+        ok_runs = all(record.ok for record in by_arch.values())
+        measured_tier = (measured_vt_tier(by_arch[ArchMode.BASELINE].cycles,
+                                          by_arch[ArchMode.VT].cycles)
+                         if ok_runs else "-")
+        limiter = limiter_summary(bench.kernel, cfg)["limiter"]
+        for arch in archs:
+            record = by_arch[arch]
+            pred = preds[(bench.name, arch)]
+            if not record.ok:
+                failures[(bench.name, arch)] = record
+                rows.append((bench.name, arch, pred.limiter, pred.idle_class,
+                             "-", "-", pred.vt_tier, measured_tier,
+                             _cycles_cell(record)))
+                continue
+            breakdown = record.stats.idle_breakdown()
+            agrees, dominant, ratio = idle_agreement(pred.idle_class, breakdown)
+            limiter_ok = pred.limiter == limiter
+            cells[(bench.name, arch)] = {
+                "predicted_idle": pred.idle_class,
+                "measured_idle": dominant,
+                "tie_ratio": ratio,
+                "idle_ok": agrees,
+                "limiter_ok": limiter_ok,
+                "binding": pred.binding,
+                "predicted_tier": pred.vt_tier,
+                "measured_tier": measured_tier,
+            }
+            if not (agrees and limiter_ok):
+                disagreements.append((bench.name, arch))
+            mark = "=" if pred.idle_class == dominant else (
+                "~" if agrees else "X")
+            rows.append((bench.name, arch, pred.limiter, pred.idle_class,
+                         dominant, mark, pred.vt_tier, measured_tier,
+                         pred.binding))
+    agree_count = sum(1 for c in cells.values()
+                      if c["idle_ok"] and c["limiter_ok"])
+    report = format_table(
+        ("benchmark", "arch", "limiter", "idle(pred)", "idle(sim)", "ok",
+         "tier(pred)", "tier(sim)", "binding rule"),
+        rows,
+        title=(f"X4 (validation) - static oracle vs simulator "
+               f"({agree_count}/{len(cells)} cells agree; "
+               "'~' = within tie tolerance)"),
+    )
+    parts = [report]
+    if disagreements:
+        parts.append("")
+        parts.append("DISAGREEMENTS (the agreement gate fails):")
+        for name, arch in disagreements:
+            cell = cells[name, arch]
+            parts.append(
+                f"  {name}/{arch}: predicted {cell['predicted_idle']} "
+                f"(via {cell['binding']}), simulator says "
+                f"{cell['measured_idle']} (ratio {cell['tie_ratio']:.2f})")
+    data = {"cells": cells, "disagreements": disagreements,
+            "failures": failures, "records": records, "predictions": preds}
+    return "\n".join(parts), data
 
 
 # ---------------------------------------------------------------------------
@@ -801,4 +907,5 @@ ALL_EXPERIMENTS = {
     "X1": x1_contention,
     "X2": x2_kepler,
     "X3": x3_full_chip,
+    "X4": x4_prediction_table,
 }

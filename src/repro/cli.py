@@ -13,6 +13,10 @@ Commands:
 * ``occupancy BENCH`` — the occupancy calculator's view of a kernel.
 * ``disasm BENCH`` — disassemble a benchmark kernel.
 * ``profile BENCH`` — static instruction-mix / control-flow profile.
+* ``lint [BENCH]`` — static kernel verifier (``--format json`` for CI).
+* ``predict [BENCH]`` — static performance oracle: limiter, idle-cycle
+  class, VT tier; ``--check`` simulates every cell and fails on any
+  prediction/measurement disagreement (the CI agreement gate).
 
 Failures exit cleanly: simulation timeouts and deadlocks print a one-line
 error plus the path of the forensic dump (exit 1) instead of a traceback,
@@ -69,10 +73,12 @@ def _config(args, arch: str):
 
 
 def cmd_list(_args) -> int:
+    from repro.core.occupancy import limiter_summary
+
     rows = []
     for bench in all_benchmarks():
-        occ = occupancy(bench.kernel)
-        rows.append((bench.name, bench.category, occ.limiter.value, bench.suite,
+        rows.append((bench.name, bench.category,
+                     limiter_summary(bench.kernel)["limiter"], bench.suite,
                      bench.description))
     print(format_table(("benchmark", "class", "limiter", "models", "description"), rows))
     return 0
@@ -209,6 +215,8 @@ def cmd_disasm(args) -> int:
 
 
 def cmd_lint(args) -> int:
+    import json
+
     from repro.isa.analysis import RULES, lint_kernel
 
     if args.all and args.benchmark:
@@ -220,6 +228,10 @@ def cmd_lint(args) -> int:
     else:
         benches = list(all_benchmarks())
     reports = [lint_kernel(bench.kernel) for bench in benches]
+    if args.format == "json":
+        payload = [rep.to_dict(strict=args.strict) for rep in reports]
+        print(json.dumps(payload, indent=2))
+        return 0 if all(rep.ok(strict=args.strict) for rep in reports) else 1
     print(f"linting {len(benches)} kernel(s): "
           f"{', '.join(bench.name for bench in benches[:8])}"
           f"{', ...' if len(benches) > 8 else ''}\n")
@@ -251,6 +263,70 @@ def cmd_lint(args) -> int:
         print(f"\nFAIL ({gate}): {', '.join(failed)}")
         return 1
     print(f"\nOK: no {gate} across {len(reports)} kernel(s)")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    import json
+
+    from repro.isa.analysis.perf import layout_for, predict_kernel
+
+    if args.all and args.benchmark:
+        print("error: pass either --all or a benchmark name, not both",
+              file=sys.stderr)
+        return 2
+    benches = ([get(args.benchmark)] if args.benchmark
+               else list(all_benchmarks()))
+    cfg = scaled_fermi(num_sms=args.sms)
+
+    if args.check:
+        # The agreement gate: run the simulator on every predicted cell
+        # and require the static oracle to match (X4 is the same code).
+        from repro.analysis.experiments import x4_prediction_table
+
+        benches_names = {bench.name for bench in benches}
+        report, data = x4_prediction_table(cfg=cfg, scale=args.scale,
+                                           keep_going=True, jobs=args.jobs)
+        if args.benchmark:
+            data["disagreements"] = [
+                (name, arch) for name, arch in data["disagreements"]
+                if name in benches_names]
+            data["failures"] = {key: record
+                                for key, record in data["failures"].items()
+                                if key[0] in benches_names}
+        if args.format == "json":
+            cells = {f"{name}/{arch}": cell
+                     for (name, arch), cell in data["cells"].items()
+                     if name in benches_names}
+            print(json.dumps({"cells": cells,
+                              "disagreements": data["disagreements"]},
+                             indent=2))
+        else:
+            print(report)
+        if data["failures"]:
+            failed = ", ".join(f"{n}/{a}" for n, a in data["failures"])
+            print(f"\nFAIL (simulation failures): {failed}", file=sys.stderr)
+            return 1
+        if data["disagreements"]:
+            return 1
+        if args.format != "json":
+            print("\nOK: static oracle agrees with the simulator on every cell")
+        return 0
+
+    predictions = []
+    for bench in benches:
+        layout = layout_for(bench, args.scale)
+        predictions.extend(predict_kernel(bench.kernel, cfg, layout=layout))
+    if args.format == "json":
+        print(json.dumps([p.to_dict() for p in predictions], indent=2))
+        return 0
+    rows = [(p.kernel, p.arch, p.limiter, p.idle_class, p.vt_tier,
+             p.warps, f"{p.busy:.2f}", p.binding)
+            for p in predictions]
+    print(format_table(
+        ("kernel", "arch", "limiter", "idle class", "VT tier", "warps",
+         "busy", "binding rule"),
+        rows, title="static performance predictions (no simulation)"))
     return 0
 
 
@@ -366,7 +442,31 @@ def build_parser() -> argparse.ArgumentParser:
                              "benchmark is named)")
     lint_p.add_argument("--strict", action="store_true",
                         help="fail on warnings as well as errors")
+    lint_p.add_argument("--format", choices=("table", "json"), default="table",
+                        help="machine-readable JSON instead of tables")
     lint_p.set_defaults(fn=cmd_lint)
+
+    pred_p = sub.add_parser(
+        "predict", help="static performance oracle: limiter, idle-cycle "
+                        "class, and VT tier without simulating")
+    pred_p.add_argument("benchmark", nargs="?", default=None,
+                        help="benchmark to predict (default: every registry "
+                             "kernel)")
+    pred_p.add_argument("--all", action="store_true",
+                        help="predict every registry kernel (the default "
+                             "when no benchmark is named)")
+    pred_p.add_argument("--check", action="store_true",
+                        help="agreement gate: simulate each cell and fail "
+                             "unless the prediction matches (runs the full "
+                             "X4 validation matrix)")
+    pred_p.add_argument("--scale", type=positive_float, default=1.0)
+    pred_p.add_argument("--sms", type=positive_int, default=2)
+    pred_p.add_argument("--jobs", type=positive_int, default=None,
+                        help="with --check: run the simulations through the "
+                             "process-isolated orchestrator with N workers")
+    pred_p.add_argument("--format", choices=("table", "json"), default="table",
+                        help="machine-readable JSON instead of tables")
+    pred_p.set_defaults(fn=cmd_predict)
 
     return parser
 

@@ -85,6 +85,25 @@ class OccupancyResult:
         return min(1.0, self.baseline_ctas * self.warps_per_cta / cfg.max_warps_per_sm)
 
 
+def limiter_summary(kernel, cfg: GPUConfig | None = None) -> dict:
+    """Canonical limiter classification row for one kernel.
+
+    The single source of truth every consumer reads — the E2/X2/X4
+    experiment tables, ``repro list``, and the static performance oracle
+    (:mod:`repro.isa.analysis.perf`) — instead of re-deriving the
+    scheduling-vs-capacity call from raw footprints.
+    """
+    occ = occupancy(kernel, cfg)
+    return {
+        "limiter": occ.limiter.value,
+        "baseline_ctas": occ.baseline_ctas,
+        "capacity_ctas": occ.capacity_limit_ctas,
+        "headroom": occ.vt_headroom,
+        "binding": occ.binding_resource,
+        "occupancy": occ,
+    }
+
+
 def occupancy(kernel, cfg: GPUConfig | None = None) -> OccupancyResult:
     """Compute per-SM residency limits for ``kernel`` under ``cfg``."""
     cfg = cfg or GPUConfig()

@@ -292,8 +292,22 @@ class AffineAnalysis(DataflowProblem):
         value = self._evaluate(instr, srcs)
         if instr.pred is not None:
             # Predicated definition: lanes with a false predicate keep the
-            # old value, so the result is the join of both.
-            value = join(env.get(instr.dst.idx), value)
+            # old value.  When the predicate is uniform every lane agrees
+            # on which side it took, so the join of both is exact.  A
+            # thread-dependent (or unknown) predicate *mixes* old and new
+            # values across lanes — the mixture has no affine form unless
+            # the two sides coincide, so anything else must go to TOP
+            # (claiming the mixture is a uniform join would, e.g., call a
+            # divergent binary-search address a broadcast).
+            old = env.get(instr.dst.idx)
+            pred_val = env.get(instr.pred.idx)
+            if pred_val.is_uniform and not is_top(pred_val):
+                value = join(old, value)
+            elif not (old == value and not value.fuzzy):
+                # Two equal fuzzy forms may still stand for *different*
+                # unknown uniforms, so only an exact non-fuzzy match keeps
+                # its affine form through a divergent write.
+                value = TOP
         return env.set(instr.dst.idx, value)
 
     def _evaluate(self, instr, srcs: list[Affine]) -> Affine:

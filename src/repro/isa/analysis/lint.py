@@ -8,6 +8,9 @@ with an offending example and a fix).  Severities:
   computes with garbage.  Always fails the lint.
 * ``warning`` — very likely wrong, but depends on schedule or data the
   static analysis cannot see.  Fails only under ``--strict``.
+* ``perf`` — the kernel is *correct* but provably leaves performance on
+  the table (uncoalesced accesses, bank conflicts, unhidden latency).
+  Advisory: never fails the lint, even under ``--strict``.
 * ``info`` — possible issue the analysis cannot decide, or a benign
   modelling choice (deliberate register over-declaration).  Never fails.
 """
@@ -27,9 +30,23 @@ from repro.isa.opcodes import Op
 
 ERROR = "error"
 WARNING = "warning"
+PERF = "perf"
 INFO = "info"
 
-_SEVERITY_RANK = {ERROR: 0, WARNING: 1, INFO: 2}
+_SEVERITY_RANK = {ERROR: 0, WARNING: 1, PERF: 2, INFO: 3}
+
+#: A full-mask global access provably needing at least this many
+#: transactions (a perfectly coalesced 4-byte access needs 1 line) is
+#: flagged uncoalesced.
+UNCOALESCED_TX = 8
+#: A full-mask shared access provably serializing into at least this
+#: many bank passes is flagged conflicted.
+CONFLICT_PASSES = 2
+#: `low-ilp-low-occupancy`: flag when the single-warp critical path is
+#: this many times the issue time while residency fills under half the
+#: SM's warp slots — the classic unhidden-latency shape.
+LOW_ILP_CHAIN = 2.0
+LOW_OCC_FRACTION = 0.5
 
 #: rule id -> (default severity, one-line description)
 RULES = {
@@ -40,6 +57,9 @@ RULES = {
     "reg-oob": (ERROR, "register operand outside regs_per_thread"),
     "shared-race": (WARNING, "conflicting shared accesses with no BAR between"),
     "unreachable-code": (WARNING, "basic block has no path from kernel entry"),
+    "uncoalesced-global": (PERF, "global access needs many transactions per warp"),
+    "shared-bank-conflict": (PERF, "shared access serializes on bank conflicts"),
+    "low-ilp-low-occupancy": (PERF, "dependence chains too long for the resident warps to hide"),
     "shared-race-maybe": (INFO, "possible shared race on unanalyzable addresses"),
     "over-declared-regs": (INFO, "regs_per_thread exceeds any register used"),
 }
@@ -59,6 +79,11 @@ class Finding:
         where = f"pc {self.pc}" if self.pc is not None else "kernel"
         return f"[{self.severity}] {self.kernel} {where}: {self.rule}: {self.message}"
 
+    def to_dict(self) -> dict:
+        return {"kernel": self.kernel, "rule": self.rule,
+                "severity": self.severity, "pc": self.pc,
+                "message": self.message}
+
 
 @dataclass(frozen=True)
 class LintReport:
@@ -76,10 +101,19 @@ class LintReport:
     def warnings(self) -> list:
         return [f for f in self.findings if f.severity == WARNING]
 
+    @property
+    def perf(self) -> list:
+        return [f for f in self.findings if f.severity == PERF]
+
     def ok(self, strict: bool = False) -> bool:
+        """PERF findings are advisory and never fail the lint."""
         if self.errors:
             return False
         return not (strict and self.warnings)
+
+    def to_dict(self, strict: bool = False) -> dict:
+        return {"kernel": self.kernel, "ok": self.ok(strict=strict),
+                "findings": [f.to_dict() for f in self.findings]}
 
 
 def _sorted(findings: list[Finding]) -> tuple:
@@ -145,6 +179,38 @@ def lint_kernel(kernel) -> LintReport:
             add("shared-race-maybe", race.pc_b,
                 f"may conflict with pc {race.pc_a}; addresses not statically "
                 "analyzable, no intervening BAR")
+
+    # -- performance advisories (never fail the lint) ----------------------
+    from repro.isa.analysis.memaccess import access_costs
+    from repro.isa.analysis.perf import warp_profile
+    from repro.core.occupancy import occupancy
+    from repro.sim.config import GPUConfig
+
+    gpu = GPUConfig()
+    for cost in access_costs(kernel, cfg, affine, envs,
+                             line_bytes=gpu.line_bytes,
+                             num_banks=gpu.shared_mem_banks):
+        if not cost.analyzable:
+            continue  # bounds-only sites are the predictor's job, not lint's
+        if cost.space == "global" and cost.full_lo >= UNCOALESCED_TX:
+            add("uncoalesced-global", cost.pc,
+                f"{cost.kind} needs {cost.full_lo}-{cost.full_hi} transactions "
+                f"per full warp access (coalesced would need "
+                f"{-(-4 * min(32, kernel.threads_per_cta) // gpu.line_bytes)})")
+        elif cost.space == "shared" and cost.full_lo >= CONFLICT_PASSES:
+            add("shared-bank-conflict", cost.pc,
+                f"{cost.kind} serializes into {cost.full_lo} bank passes "
+                f"per full warp access over {gpu.shared_mem_banks} banks")
+    occ = occupancy(kernel, gpu)
+    profile = warp_profile(kernel, gpu)
+    chain_ratio = profile.chain_cycles / max(1, profile.instructions)
+    occ_fraction = occ.occupancy_fraction(gpu)
+    if chain_ratio >= LOW_ILP_CHAIN and occ_fraction < LOW_OCC_FRACTION:
+        add("low-ilp-low-occupancy", None,
+            f"single-warp critical path is {chain_ratio:.1f}x its issue time "
+            f"but residency fills only {occ_fraction:.0%} of warp slots "
+            f"({occ.baseline_ctas} CTAs/SM, {occ.limiter.value}-limited): "
+            "latency cannot be hidden")
 
     # -- liveness ----------------------------------------------------------
     live = liveness(kernel, cfg)

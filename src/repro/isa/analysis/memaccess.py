@@ -1,0 +1,202 @@
+"""Static memory-access cost analysis: coalescing and bank conflicts.
+
+For every reachable LD/ST/atomic the affine pass gives a symbolic byte
+address ``const + Σ cᵢ·tidᵢ + Σ uniformⱼ (+ unknown uniform)``.  This
+module turns that form into *bounds on the runtime cost* of one issued
+warp access, mirroring the timing model's rules exactly
+(:mod:`repro.sim.ldst`):
+
+* **global** — the number of ``line_bytes``-aligned segments the active
+  lanes touch (transactions; each occupies the LD/ST port one cycle);
+* **shared** — the maximum per-bank multiplicity over unique words
+  (serialized passes).
+
+The lane addresses of warp ``w`` are reconstructed from the same
+``linear = w·32 + lane`` thread mapping the simulator uses
+(:meth:`repro.sim.cta.CTA._special_regs`), so for a fully analyzable
+address the static per-warp cost is *exact*.  Two symbolic complications
+are handled without giving up:
+
+* **Unknown uniform base** (parameter pointers, ``ctaid`` terms,
+  loop-carried ``fuzzy`` offsets): all lanes shift together.  Bank
+  conflicts are *invariant* under a word-aligned uniform shift — adding
+  the same word offset to every lane rotates the bank assignment but
+  preserves the multiplicity histogram — so passes stay exact.
+  Coalescing is not invariant (a shift can straddle one more line), so
+  the transaction count is swept over every word-aligned offset within a
+  line, yielding tight ``(lo, hi)`` bounds.
+* **Unanalyzable addresses** (data-dependent gathers, TOP): the access
+  is *never silently assumed coalesced* — it reports the conservative
+  bounds ``1 .. active lanes`` (a warp access is at least one
+  transaction and at most one per lane).
+
+Predicated or divergence-masked accesses can execute with any non-empty
+lane subset; a subset touches at most the full mask's segments, so the
+upper bound stands and only the lower bound widens to 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.analysis.affine import Affine, AffineAnalysis, affine_solution, is_top
+from repro.isa.analysis.dataflow import CFGView
+from repro.sim.ldst import bank_conflict_passes, coalesce
+
+WORD = 4
+WARP = 32
+
+
+@dataclass(frozen=True)
+class AccessCost:
+    """Static cost bounds for one memory-access site (one PC).
+
+    ``lo``/``hi`` bound the runtime cost of *any* issued access at this
+    PC (any warp, any non-empty active mask) — the sanitizer's runtime
+    cross-check contract.  ``full_lo``/``full_hi`` bound the cost under a
+    full (undiverged, unpredicated) active mask — what the performance
+    model uses as the expected per-access cost.  ``exact`` means
+    ``full_lo == full_hi`` and every warp of the CTA agrees.
+    """
+
+    pc: int
+    space: str  # "global" | "shared"
+    kind: str  # "load" | "store" | "atomic"
+    lo: int
+    hi: int
+    full_lo: int
+    full_hi: int
+    analyzable: bool  # False: TOP/unknown per-lane structure
+    exact: bool
+    predicated: bool
+
+    @property
+    def expected(self) -> float:
+        """Model's point estimate of the per-access cost."""
+        return (self.full_lo + self.full_hi) / 2.0
+
+
+def _warp_lane_tids(cta_dim, warp_index: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-lane (tid_x, tid_y, tid_z) of one warp — the simulator's mapping."""
+    nx, ny, _nz = cta_dim
+    lanes = np.arange(WARP, dtype=np.int64)
+    linear = warp_index * WARP + lanes
+    return linear % nx, (linear // nx) % ny, linear // (nx * ny)
+
+
+def _relative_lane_addresses(address: Affine, cta_dim) -> list[np.ndarray]:
+    """Per-warp arrays of lane byte addresses *relative to the uniform
+    part* (which shifts all lanes equally), live lanes only."""
+    threads = cta_dim[0] * cta_dim[1] * cta_dim[2]
+    num_warps = -(-threads // WARP)
+    coefs = dict(address.tid)
+    out = []
+    for w in range(num_warps):
+        tx, ty, tz = _warp_lane_tids(cta_dim, w)
+        live = min(WARP, threads - w * WARP)
+        rel = np.full(WARP, float(address.const))
+        rel += coefs.get("tid_x", 0) * tx
+        rel += coefs.get("tid_y", 0) * ty
+        rel += coefs.get("tid_z", 0) * tz
+        out.append(rel[:live].astype(np.int64))
+    return out
+
+
+def _global_cost(rel_warps, line_bytes: int, shifted: bool) -> tuple[int, int]:
+    """(lo, hi) transactions over all warps; with an unknown word-aligned
+    uniform base (``shifted``) each warp is swept over every word offset
+    within a line."""
+    offsets = range(0, line_bytes, WORD) if shifted else (0,)
+    lo = hi = None
+    for rel in rel_warps:
+        for off in offsets:
+            count = len(coalesce(rel + off, line_bytes))
+            lo = count if lo is None else min(lo, count)
+            hi = count if hi is None else max(hi, count)
+    return int(lo), int(hi)
+
+
+def _shared_cost(rel_warps, num_banks: int) -> tuple[int, int]:
+    """(lo, hi) bank passes over all warps.  A word-aligned uniform shift
+    rotates the bank mapping without changing any multiplicity, so no
+    offset sweep is needed — the count is exact per warp."""
+    lo = hi = None
+    for rel in rel_warps:
+        passes = bank_conflict_passes(rel, num_banks)
+        lo = passes if lo is None else min(lo, passes)
+        hi = passes if hi is None else max(hi, passes)
+    return int(lo), int(hi)
+
+
+def _kind(instr) -> str:
+    if instr.info.is_atomic:
+        return "atomic"
+    return "store" if instr.is_store else "load"
+
+
+def _unanalyzable(pc, space, kind, max_lanes, predicated) -> AccessCost:
+    # Never silently coalesced: one transaction per lane in the worst case.
+    return AccessCost(pc=pc, space=space, kind=kind, lo=1, hi=max_lanes,
+                      full_lo=1, full_hi=max_lanes, analyzable=False,
+                      exact=False, predicated=predicated)
+
+
+def access_costs(kernel, cfg_view: CFGView | None = None,
+                 affine: AffineAnalysis | None = None, envs: list | None = None,
+                 *, line_bytes: int = 128, num_banks: int = 32) -> list[AccessCost]:
+    """Static cost bounds for every reachable memory-access site.
+
+    ``line_bytes``/``num_banks`` default to the simulator's Fermi-class
+    values (:class:`repro.sim.config.GPUConfig`); pass the config's
+    values to analyze other geometries.
+    """
+    cfg_view = cfg_view or CFGView(kernel.instrs)
+    if affine is None or envs is None:
+        affine, envs = affine_solution(kernel, cfg_view)
+    threads = kernel.threads_per_cta
+    max_lanes = min(WARP, threads)
+    costs: list[AccessCost] = []
+    for pc, instr in enumerate(kernel.instrs):
+        if not instr.info.is_mem or not cfg_view.pc_reachable(pc):
+            continue
+        space = "global" if instr.is_global_mem else "shared"
+        kind = _kind(instr)
+        predicated = instr.pred is not None
+        env = envs[pc]
+        if env is None:
+            costs.append(_unanalyzable(pc, space, kind, max_lanes, predicated))
+            continue
+        address = affine.address(pc, env)
+        if is_top(address):
+            costs.append(_unanalyzable(pc, space, kind, max_lanes, predicated))
+            continue
+        rel_warps = _relative_lane_addresses(address, kernel.cta_dim)
+        # A uniform base shifts every lane equally; lane *differences* must
+        # be word-aligned or the access would fault at runtime — bail to
+        # the conservative bounds rather than model an illegal access.
+        base = rel_warps[0][0] if rel_warps and len(rel_warps[0]) else 0
+        if any(((rel - base) % WORD).any() for rel in rel_warps):
+            costs.append(_unanalyzable(pc, space, kind, max_lanes, predicated))
+            continue
+        shifted = bool(address.uni) or address.fuzzy
+        if space == "global":
+            full_lo, full_hi = _global_cost(rel_warps, line_bytes, shifted)
+        else:
+            full_lo, full_hi = _shared_cost(rel_warps, num_banks)
+        exact = full_lo == full_hi and not predicated
+        lo = 1 if predicated else full_lo
+        costs.append(AccessCost(pc=pc, space=space, kind=kind, lo=lo,
+                                hi=full_hi, full_lo=full_lo, full_hi=full_hi,
+                                analyzable=True, exact=exact,
+                                predicated=predicated))
+    return costs
+
+
+def cost_bounds_by_pc(kernel, *, line_bytes: int = 128,
+                      num_banks: int = 32) -> dict[int, AccessCost]:
+    """``pc -> AccessCost`` map (the sanitizer's cross-check input)."""
+    return {cost.pc: cost
+            for cost in access_costs(kernel, line_bytes=line_bytes,
+                                     num_banks=num_banks)}

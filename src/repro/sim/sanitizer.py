@@ -259,11 +259,13 @@ class Sanitizer:
     # -- execution cross-check ---------------------------------------------
 
     def _kernel_bounds(self, kernel):
-        """Static write-set and per-PC shared-address bounds for ``kernel``."""
+        """Static write-set, per-PC shared-address bounds, and per-PC
+        access-cost bounds (coalescing / bank passes) for ``kernel``."""
         entry = self._static_bounds.get(id(kernel))
         if entry is None or entry[0] is not kernel:
             from repro.isa.analysis import (CFGView, affine_solution, liveness,
                                             shared_accesses)
+            from repro.isa.analysis.memaccess import cost_bounds_by_pc
 
             cfg = CFGView(kernel.instrs)
             written = liveness(kernel, cfg).written_regs
@@ -271,7 +273,9 @@ class Sanitizer:
             bounds = {access.pc: access.bounds
                       for access in shared_accesses(kernel, cfg, affine, envs)
                       if access.bounds is not None}
-            entry = (kernel, written, bounds)
+            costs = cost_bounds_by_pc(kernel, line_bytes=self.cfg.line_bytes,
+                                      num_banks=self.cfg.shared_mem_banks)
+            entry = (kernel, written, bounds, costs)
             self._static_bounds[id(kernel)] = entry
         return entry
 
@@ -283,7 +287,7 @@ class Sanitizer:
         worth a loud stop.  Called from ``SMCore._issue``."""
         self.checks += 1
         kernel = warp.cta.kernel
-        _kernel, written, shared_bounds = self._kernel_bounds(kernel)
+        _kernel, written, shared_bounds, cost_bounds = self._kernel_bounds(kernel)
 
         dst = instr.dst_reg()
         if dst is not None:
@@ -319,6 +323,34 @@ class Sanitizer:
                         f"pc {pc} touched shared bytes {lo_seen:g}..{hi_seen:g}, "
                         f"outside the statically proven range {lo:g}..{hi:g}",
                         sm.sm_id, now, resource="shared memory")
+
+        # Access-cost cross-check: the observed transaction / bank-pass
+        # count of this issue must stay within the bounds the static
+        # coalescing analysis proved (divergence can thin the active mask
+        # below the full-warp lower bound, so only a full mask checks it).
+        if result.addresses is not None and len(result.addresses):
+            cost = cost_bounds.get(pc)
+            if cost is not None:
+                from repro.sim.ldst import bank_conflict_passes, coalesce
+
+                if result.mem_space == "shared":
+                    seen = bank_conflict_passes(result.addresses,
+                                                self.cfg.shared_mem_banks)
+                    what = "bank passes"
+                else:
+                    seen = len(coalesce(result.addresses, self.cfg.line_bytes))
+                    what = "transactions"
+                full = len(result.addresses) >= min(
+                    32, kernel.threads_per_cta)
+                lo_c = cost.full_lo if full and not cost.predicated else 1
+                hi_c = cost.full_hi if full else cost.hi
+                if not lo_c <= seen <= hi_c:
+                    self._fail(
+                        "exec-access-cost",
+                        f"pc {pc} performed {seen} {what}, outside the "
+                        f"statically predicted bounds {lo_c}..{hi_c} "
+                        f"({'full' if full else 'partial'} active mask)",
+                        sm.sm_id, now, resource="memory ports")
 
     # -- retirement check --------------------------------------------------
 

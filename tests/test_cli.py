@@ -308,6 +308,118 @@ def test_lint_unknown_benchmark(capsys):
     assert "unknown benchmark" in err
 
 
+def test_lint_json_format(capsys):
+    import json
+    code, out, _err = run_cli(capsys, "lint", "nw", "--format", "json")
+    assert code == 0
+    reports = json.loads(out)
+    assert [r["kernel"] for r in reports] == ["nw"]
+    assert reports[0]["ok"] is True
+    rules = {f["rule"] for f in reports[0]["findings"]}
+    assert "uncoalesced-global" in rules  # nw's diagonal-wavefront walk
+
+
+def test_lint_all_json_is_parseable(capsys):
+    import json
+    code, out, _err = run_cli(capsys, "lint", "--all", "--format", "json")
+    assert code == 0
+    reports = json.loads(out)
+    assert len(reports) == 21
+    assert all(r["ok"] for r in reports)
+
+
+# -- predict: the static performance oracle -----------------------------------
+
+
+def test_predict_table(capsys):
+    code, out, _err = run_cli(capsys, "predict", "vecadd")
+    assert code == 0
+    assert "static performance predictions" in out
+    assert "vecadd" in out and "baseline" in out and "vt" in out
+
+
+def test_predict_json(capsys):
+    import json
+    code, out, _err = run_cli(capsys, "predict", "vecadd", "--format", "json")
+    assert code == 0
+    preds = json.loads(out)
+    assert {p["arch"] for p in preds} == {"baseline", "vt"}
+    assert all(p["kernel"] == "vecadd" for p in preds)
+    assert all(p["idle_class"] in ("mem", "struct", "alu") for p in preds)
+
+
+def test_predict_all_and_name_conflict(capsys):
+    code, _out, err = run_cli(capsys, "predict", "vecadd", "--all")
+    assert code == 2
+    assert "not both" in err
+
+
+def test_predict_unknown_benchmark(capsys):
+    code, _out, err = run_cli(capsys, "predict", "nope")
+    assert code == 2
+    assert "unknown benchmark" in err
+
+
+def _fake_x4(cells, disagreements, failures):
+    def fake(cfg=None, scale=1.0, keep_going=True, jobs=None, sweep_dir=None):
+        return "fake X4 report", {"cells": cells,
+                                  "disagreements": disagreements,
+                                  "failures": failures,
+                                  "records": {}, "predictions": {}}
+    return fake
+
+
+CELL = {"predicted_idle": "mem", "measured_idle": "mem", "tie_ratio": 1.0,
+        "idle_ok": True, "limiter_ok": True, "binding": "exposed-latency",
+        "predicted_tier": "high", "measured_tier": "high"}
+
+
+def test_predict_check_gate_passes(capsys, monkeypatch):
+    import repro.analysis.experiments as ex
+    monkeypatch.setattr(ex, "x4_prediction_table",
+                        _fake_x4({("vecadd", "baseline"): CELL}, [], {}))
+    code, out, _err = run_cli(capsys, "predict", "--all", "--check")
+    assert code == 0
+    assert "OK: static oracle agrees" in out
+
+
+def test_predict_check_gate_fails_on_disagreement(capsys, monkeypatch):
+    import repro.analysis.experiments as ex
+    monkeypatch.setattr(ex, "x4_prediction_table",
+                        _fake_x4({("vecadd", "vt"): CELL},
+                                 [("vecadd", "vt")], {}))
+    code, out, _err = run_cli(capsys, "predict", "--all", "--check")
+    assert code == 1
+    assert "OK" not in out
+
+
+def test_predict_check_single_bench_filters_other_cells(capsys, monkeypatch):
+    # Gating one benchmark must ignore another kernel's disagreement.
+    import json
+
+    import repro.analysis.experiments as ex
+    monkeypatch.setattr(
+        ex, "x4_prediction_table",
+        _fake_x4({("stride", "baseline"): CELL, ("vecadd", "vt"): CELL},
+                 [("vecadd", "vt")], {}))
+    code, out, _err = run_cli(capsys, "predict", "stride", "--check",
+                              "--format", "json")
+    assert code == 0
+    payload = json.loads(out)
+    assert set(payload["cells"]) == {"stride/baseline"}
+    assert payload["disagreements"] == []
+
+
+def test_predict_check_simulation_failure_is_fatal(capsys, monkeypatch):
+    import repro.analysis.experiments as ex
+    monkeypatch.setattr(
+        ex, "x4_prediction_table",
+        _fake_x4({}, [], {("vecadd", "vt"): object()}))
+    code, _out, err = run_cli(capsys, "predict", "--all", "--check")
+    assert code == 1
+    assert "simulation failures" in err
+
+
 def test_experiment_e11_liveness_flag(capsys):
     code, out, _err = run_cli(capsys, "experiment", "e11", "--liveness")
     assert code == 0

@@ -111,5 +111,17 @@ def test_e11_overhead_report():
 
 
 def test_registry_complete():
-    expected = {f"E{i}" for i in range(1, 13)} | {"X1", "X2", "X3"}
+    expected = {f"E{i}" for i in range(1, 13)} | {"X1", "X2", "X3", "X4"}
     assert set(ex.ALL_EXPERIMENTS) == expected
+
+
+def test_e2_limiter_column_is_the_occupancy_classification():
+    # Regression for the dedupe: E2 must read the limiter from
+    # core/occupancy's limiter_summary, never re-derive it.
+    from repro.core.occupancy import limiter_summary
+    from repro.kernels.registry import all_benchmarks
+
+    _report, data = ex.e2_benchmark_table()
+    for bench in all_benchmarks():
+        assert data[bench.name].limiter.value == \
+            limiter_summary(bench.kernel)["limiter"], bench.name

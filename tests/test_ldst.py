@@ -60,3 +60,47 @@ def test_padded_transpose_stride_is_conflict_free():
     # Stride 33 words (the padded shared-memory trick) hits distinct banks.
     warp_addrs = np.arange(32, dtype=np.int64) * 33 * 4
     assert bank_conflict_passes(warp_addrs, 32) == 1
+
+
+# -- edge cases: masks, spills, broadcasts -----------------------------------
+
+
+def test_empty_active_mask_costs_nothing():
+    # A fully predicated-off warp issues no transactions and the shared
+    # pipe's minimum single pass.
+    empty = np.array([], dtype=np.int64)
+    assert coalesce(empty, 128) == []
+    assert bank_conflict_passes(empty, 32) == 1
+
+
+def test_single_lane_mask_is_minimum_cost():
+    assert coalesce(addrs(4096), 128) == [4096 // 128 * 128]
+    assert bank_conflict_passes(addrs(4096), 32) == 1
+
+
+def test_global_same_word_broadcast_collapses_to_one_segment():
+    warp_addrs = np.zeros(32, dtype=np.int64) + 256
+    assert coalesce(warp_addrs, 128) == [256]
+
+
+def test_unaligned_segment_spill_property():
+    # A contiguous 128-byte warp access starting at any word offset spills
+    # into a second segment exactly when it is not line-aligned.
+    run = np.arange(32, dtype=np.int64) * 4
+    for offset in range(0, 128, 4):
+        segments = coalesce(run + offset, 128)
+        assert len(segments) == (1 if offset % 128 == 0 else 2), offset
+
+
+def test_transpose_padding_property():
+    # The transpose kernel's tile walk: reading column r of a 32x32 tile.
+    # Unpadded (stride 32 words) every lane lands in one bank - a full
+    # 32-way serialization for EVERY column; padding to stride 33 makes
+    # every column conflict-free.  This is the padded/unpadded pair the
+    # registry transpose kernel bakes in.
+    lanes = np.arange(32, dtype=np.int64)
+    for row in range(32):
+        unpadded = (lanes * 32 + row) * 4
+        padded = (lanes * 33 + row) * 4
+        assert bank_conflict_passes(unpadded, 32) == 32, row
+        assert bank_conflict_passes(padded, 32) == 1, row

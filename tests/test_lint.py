@@ -4,7 +4,7 @@ assembler/builder."""
 
 import pytest
 
-from repro.isa.analysis import ERROR, INFO, RULES, WARNING, lint_kernel
+from repro.isa.analysis import ERROR, INFO, PERF, RULES, WARNING, lint_kernel
 from repro.isa.assembler import assemble
 from repro.isa.instruction import Reg
 from repro.isa.kernel import KernelBuilder, KernelValidationError
@@ -139,8 +139,10 @@ def test_severity_gating():
 
 def test_rule_catalog_severities_are_valid():
     assert set(RULES) >= set(BROKEN) | {"reg-oob", "shared-race-maybe"}
+    assert set(RULES) >= {"uncoalesced-global", "shared-bank-conflict",
+                          "low-ilp-low-occupancy"}
     for severity, description in RULES.values():
-        assert severity in (ERROR, WARNING, INFO)
+        assert severity in (ERROR, WARNING, PERF, INFO)
         assert description
 
 
@@ -148,6 +150,66 @@ def test_finding_str_mentions_location():
     report = lint_kernel(assemble(BROKEN["shared-oob"]))
     text = str(report.findings[0])
     assert "bad_oob" in text and "pc" in text
+
+
+# -- performance advisories ---------------------------------------------------
+
+PERF_FIXTURES = {
+    "uncoalesced-global": """
+.kernel perf_uncoal
+.regs 8
+.cta 32
+    S2R r0, %tid_x
+    SHL r1, r0, #7
+    LDG r2, [r1]
+    STG [r1], r2
+    EXIT
+""",
+    "shared-bank-conflict": """
+.kernel perf_conflict
+.regs 8
+.smem 4096
+.cta 32
+    S2R r0, %tid_x
+    SHL r1, r0, #7
+    STS [r1], r0
+    BAR
+    LDS r2, [r1]
+    STG [r1], r2
+    EXIT
+""",
+}
+
+
+@pytest.mark.parametrize("rule", sorted(PERF_FIXTURES))
+def test_perf_rule_fires(rule):
+    report = lint_kernel(assemble(PERF_FIXTURES[rule]))
+    hits = [f for f in report.findings if f.rule == rule]
+    assert hits and all(f.severity == PERF for f in hits)
+
+
+def test_low_ilp_low_occupancy_fires_on_dependent_miss_chain():
+    # One dependent DRAM round trip per 5 issue slots, 32-thread CTAs:
+    # residency tops out far below the warp slots, latency is unhidable.
+    report = lint_kernel(assemble(PERF_FIXTURES["uncoalesced-global"]))
+    assert any(f.rule == "low-ilp-low-occupancy" for f in report.findings)
+
+
+def test_perf_findings_never_fail_even_strict():
+    report = lint_kernel(assemble(PERF_FIXTURES["uncoalesced-global"]))
+    assert report.perf
+    assert report.ok(strict=True)
+
+
+def test_report_to_dict_roundtrips_findings():
+    report = lint_kernel(assemble(PERF_FIXTURES["shared-bank-conflict"]))
+    payload = report.to_dict(strict=True)
+    assert payload["kernel"] == "perf_conflict"
+    assert payload["ok"] is True
+    rules = {f["rule"] for f in payload["findings"]}
+    assert "shared-bank-conflict" in rules
+    for f in payload["findings"]:
+        assert set(f) == {"kernel", "rule", "severity", "pc", "message"}
 
 
 # -- acceptance: the registry is clean ---------------------------------------

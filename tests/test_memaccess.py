@@ -1,0 +1,185 @@
+"""Static per-access cost bounds: coalescing transactions and shared
+bank passes, mirroring the simulator's LD/ST unit exactly."""
+
+import pytest
+
+from repro.isa.analysis import access_costs, cost_bounds_by_pc
+from repro.isa.assembler import assemble
+from repro.kernels.registry import all_benchmarks
+
+
+def costs_of(text, **kw):
+    return access_costs(assemble(text), **kw)
+
+
+def only(costs, space=None, kind=None):
+    picked = [c for c in costs
+              if (space is None or c.space == space)
+              and (kind is None or c.kind == kind)]
+    assert len(picked) == 1, picked
+    return picked[0]
+
+
+COALESCED = """
+.kernel coalesced
+.regs 8
+.cta 64
+    S2R r0, %tid_x
+    SHL r1, r0, #2
+    LDG r2, [r1]
+    STG [r1], r2
+    EXIT
+"""
+
+STRIDED = """
+.kernel strided
+.regs 8
+.cta 32
+    S2R r0, %tid_x
+    SHL r1, r0, #7
+    LDG r2, [r1]
+    STG [r1], r2
+    EXIT
+"""
+
+
+def test_coalesced_access_is_exactly_one_transaction():
+    load = only(costs_of(COALESCED), space="global", kind="load")
+    assert (load.full_lo, load.full_hi) == (1, 1)
+    assert load.analyzable and load.exact and not load.predicated
+    assert load.expected == 1.0
+
+
+def test_line_strided_access_fans_out_to_one_tx_per_lane():
+    load = only(costs_of(STRIDED), space="global", kind="load")
+    assert (load.full_lo, load.full_hi) == (32, 32)
+    assert load.exact
+
+
+def test_unknown_uniform_base_gives_straddle_bounds():
+    # tid*4 + ctaid*32: a contiguous 128-byte run at an unknown
+    # word-aligned offset — one line when aligned, two when straddling.
+    text = """
+.kernel shifted
+.regs 8
+.cta 32
+    S2R r0, %tid_x
+    S2R r1, %ctaid_x
+    SHL r2, r0, #2
+    SHL r3, r1, #5
+    IADD r4, r2, r3
+    LDG r5, [r4]
+    STG [r4], r5
+    EXIT
+"""
+    load = only(costs_of(text), space="global", kind="load")
+    assert (load.full_lo, load.full_hi) == (1, 2)
+    assert load.analyzable and not load.exact
+
+
+def test_shared_passes_invariant_under_uniform_shift():
+    # Bank multiplicity is invariant under a word-aligned uniform shift,
+    # so shared passes stay exact even with an unknown ctaid term.
+    text = """
+.kernel sconf
+.regs 8
+.smem 512
+.cta 32
+    S2R r0, %tid_x
+    S2R r1, %ctaid_x
+    SHL r2, r0, #3
+    SHL r3, r1, #2
+    IADD r4, r2, r3
+    STS [r4], r0
+    BAR
+    LDS r5, [r4]
+    STG [r2], r5
+    EXIT
+"""
+    load = only(costs_of(text), space="shared", kind="load")
+    assert (load.full_lo, load.full_hi) == (2, 2)  # stride 2 words
+    assert load.exact
+
+
+def test_data_dependent_gather_is_never_silently_coalesced():
+    text = """
+.kernel gather
+.regs 8
+.cta 32
+    S2R r0, %tid_x
+    SHL r1, r0, #2
+    LDG r2, [r1]
+    SHL r3, r2, #2
+    LDG r4, [r3]
+    STG [r1], r4
+    EXIT
+"""
+    gather = [c for c in costs_of(text) if not c.analyzable]
+    assert len(gather) == 1
+    g = gather[0]
+    assert g.space == "global" and g.kind == "load"
+    assert (g.lo, g.hi) == (1, 32)
+    assert (g.full_lo, g.full_hi) == (1, 32)
+
+
+def test_small_cta_caps_unanalyzable_bound_at_live_lanes():
+    text = """
+.kernel tinygather
+.regs 8
+.cta 8
+    S2R r0, %tid_x
+    SHL r1, r0, #2
+    LDG r2, [r1]
+    SHL r3, r2, #2
+    LDG r4, [r3]
+    STG [r1], r4
+    EXIT
+"""
+    g = [c for c in costs_of(text) if not c.analyzable][0]
+    assert g.hi == 8
+
+
+def test_predicated_access_widens_lower_bound_to_one():
+    text = """
+.kernel pred
+.regs 8
+.cta 32
+    S2R r0, %tid_x
+    SHL r1, r0, #7
+    SETP.LT r2, r0, #16
+@r2 LDG r3, [r1]
+@r2 STG [r1], r3
+    EXIT
+"""
+    load = only(costs_of(text), space="global", kind="load")
+    assert load.predicated and not load.exact
+    assert load.lo == 1  # any non-empty lane subset may issue
+    assert (load.full_lo, load.full_hi) == (32, 32)  # full mask still strided
+
+
+def test_geometry_parameters_respected():
+    # Halve the line: the coalesced 256-byte warp run needs two segments.
+    load = only(costs_of(COALESCED, line_bytes=64), space="global",
+                kind="load")
+    assert (load.full_lo, load.full_hi) == (2, 2)
+
+
+def test_cost_bounds_by_pc_maps_memory_sites_only():
+    kernel = assemble(STRIDED)
+    table = cost_bounds_by_pc(kernel, line_bytes=128, num_banks=32)
+    mem_pcs = {pc for pc, i in enumerate(kernel.instrs) if i.info.is_mem}
+    assert set(table) == mem_pcs
+    for pc, cost in table.items():
+        assert cost.pc == pc
+
+
+@pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda b: b.name)
+def test_registry_bounds_are_well_formed(bench):
+    for cost in access_costs(bench.kernel):
+        assert 1 <= cost.lo <= cost.hi
+        assert cost.lo <= cost.full_lo <= cost.full_hi <= cost.hi
+        if not cost.analyzable:
+            # Conservative contract: fuzzy sites report 1..lanes bounds.
+            assert cost.full_hi >= 2
+        if cost.exact:
+            assert cost.lo == cost.hi and not cost.predicated

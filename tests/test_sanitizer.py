@@ -239,6 +239,35 @@ end:
     assert excinfo.value.invariant == "exec-register-bound"
 
 
+def test_check_exec_accepts_predicted_access_cost():
+    kernel, sanitizer, sm, warp, result = _exec_fixtures()
+    # Full-mask coalesced STG: exactly the one transaction the static
+    # coalescing analysis predicts.
+    sanitizer.check_exec(sm, warp, 5, kernel.instrs[5],
+                         result("global", [4 * i for i in range(16)]), now=5)
+
+
+def test_check_exec_rejects_access_cost_above_static_bound():
+    kernel, sanitizer, sm, warp, result = _exec_fixtures()
+    scattered = [128 * i for i in range(16)]  # one line per lane
+    with pytest.raises(InvariantViolation) as excinfo:
+        sanitizer.check_exec(sm, warp, 5, kernel.instrs[5],
+                             result("global", scattered), now=5)
+    assert excinfo.value.invariant == "exec-access-cost"
+    assert "transactions" in str(excinfo.value)
+
+
+def test_check_exec_partial_mask_checks_upper_bound_only():
+    kernel, sanitizer, sm, warp, result = _exec_fixtures()
+    # A divergence-thinned single-lane access may touch fewer segments
+    # than the full-mask prediction; the upper bound still applies.
+    sanitizer.check_exec(sm, warp, 5, kernel.instrs[5],
+                         result("global", [8]), now=5)
+    with pytest.raises(InvariantViolation):
+        sanitizer.check_exec(sm, warp, 5, kernel.instrs[5],
+                             result("global", [0, 512]), now=5)
+
+
 def test_check_exec_invoked_during_runs(monkeypatch):
     seen = []
     original = Sanitizer.check_exec
