@@ -815,7 +815,7 @@ def x4_prediction_table(cfg: GPUConfig | None = None, scale: float = 1.0,
 # ---------------------------------------------------------------------------
 
 def doctor_report(scale: float = 0.25, sms: int = 1, benches=None, archs=ARCHS,
-                  jobs: int | None = None, sweep_dir=None):
+                  jobs: int | None = None, sweep_dir=None, fuzz_dir=None):
     """Quick health sweep: every benchmark under every architecture with
     the per-cycle invariant sanitizer enabled, crash-tolerantly.
 
@@ -824,6 +824,12 @@ def doctor_report(scale: float = 0.25, sms: int = 1, benches=None, archs=ARCHS,
     default: the point is exercising every state machine under the
     sanitizer, not performance numbers.  ``ok*`` marks a cell that only
     passed after a retry.
+
+    With ``fuzz_dir`` the report also lists the fuzz reproducer dumps
+    found there (next to any deadlock forensics), flagging dumps whose
+    fingerprint no longer matches their own spec/config — the same
+    stale-fingerprint discipline ``repro fuzz --replay`` enforces —
+    in ``data['reproducers']``.
     """
     cfg = scaled_fermi(num_sms=sms, sanitize=True)
     if benches is None:
@@ -855,7 +861,31 @@ def doctor_report(scale: float = 0.25, sms: int = 1, benches=None, archs=ARCHS,
         if failures else
         f"\nall {len(rows) * len(archs)} cells clean under the sanitizer"
     )
-    return report + verdict, {"records": records, "failures": failures}
+    data = {"records": records, "failures": failures}
+    if fuzz_dir is not None:
+        from repro.fuzz.campaign import list_reproducers
+
+        entries = list_reproducers(fuzz_dir)
+        data["reproducers"] = entries
+        if entries:
+            fuzz_rows = []
+            for entry in entries:
+                if "error" in entry:
+                    fuzz_rows.append((entry["path"], "unreadable", "-",
+                                      entry["error"]))
+                else:
+                    fuzz_rows.append((
+                        entry["path"],
+                        "STALE" if entry["stale"] else "replayable",
+                        entry["instructions"],
+                        ", ".join(entry["kinds"])))
+            verdict += "\n\n" + format_table(
+                ("reproducer dump", "state", "instrs", "divergence kinds"),
+                fuzz_rows, title=f"fuzz reproducers under {fuzz_dir} "
+                                 f"(replay with: repro fuzz --replay <file>)")
+        else:
+            verdict += f"\n\nno fuzz reproducers under {fuzz_dir}"
+    return report + verdict, data
 
 
 # ---------------------------------------------------------------------------

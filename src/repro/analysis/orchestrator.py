@@ -67,6 +67,7 @@ RETRY_POLICY = {
     "violation": False,
     "check-failed": False,
     "error": False,
+    "divergence": False,  # fuzz cases are deterministic end to end
     "ok": False,
 }
 
@@ -93,6 +94,15 @@ class SweepCell:
     faults: object | None = None  # FaultPlan; picklable, spawn-safe
     workload_seed: int = 0
     key: tuple | None = None
+    #: Which worker entry point runs this cell: "bench" resolves
+    #: ``benchmark`` from the kernel registry; "fuzz" hands the payload to
+    #: :func:`repro.fuzz.campaign.run_fuzz_cell` (for fuzz cells,
+    #: ``faults`` carries the injected fault plan as a plain field dict).
+    runner: str = "bench"
+    #: Extra runner-specific payload (plain data only); fuzz cells carry
+    #: {"spec": ..., "oracle": ...} here.  Not part of the fingerprint —
+    #: fuzz encodes the spec fingerprint in ``benchmark`` instead.
+    extra: dict = field(default_factory=dict)
     #: Test-only fault injection: worker attempts (1-based) on which the
     #: worker hard-exits at startup, simulating a segfault/OOM kill.
     die_on_attempts: tuple[int, ...] = ()
@@ -189,15 +199,20 @@ def _worker_main(conn, payload: dict) -> None:
     if payload["attempt"] in payload["die_on_attempts"]:
         os._exit(86)  # simulated hard crash (test hook)
     try:
-        from repro.kernels.registry import get
+        if payload.get("runner") == "fuzz":
+            from repro.fuzz.campaign import run_fuzz_cell
 
-        cfg = config_from_dict(payload["config"])
-        bench = get(payload["benchmark"])
-        record = run_benchmark_safe(
-            bench, cfg, payload["scale"], payload["check"],
-            max_cycles=payload["max_cycles"], faults=payload["faults"],
-            retry_timeouts=False,  # retries are the orchestrator's job
-        )
+            record = run_fuzz_cell(payload)
+        else:
+            from repro.kernels.registry import get
+
+            cfg = config_from_dict(payload["config"])
+            bench = get(payload["benchmark"])
+            record = run_benchmark_safe(
+                bench, cfg, payload["scale"], payload["check"],
+                max_cycles=payload["max_cycles"], faults=payload["faults"],
+                retry_timeouts=False,  # retries are the orchestrator's job
+            )
         conn.send(record_to_dict(record))
     except BaseException as exc:  # noqa: BLE001 - last-ditch isolation
         conn.send({
@@ -220,6 +235,8 @@ def _cell_payload(cell: SweepCell, attempt: int, max_cycles: int | None) -> dict
         "check": cell.check,
         "max_cycles": max_cycles,
         "faults": cell.faults,
+        "runner": cell.runner,
+        "extra": cell.extra,
         "attempt": attempt,
         "die_on_attempts": cell.die_on_attempts,
     }
@@ -367,6 +384,12 @@ def run_sweep(cells, *, jobs: int = 1, wall_timeout: float | None = None,
         job.attempt += 1
         if job.first_started is None:
             job.first_started = time.monotonic()
+        if job.cell.runner == "fuzz":
+            from repro.fuzz.campaign import run_fuzz_cell
+
+            finalize(job, run_fuzz_cell(
+                _cell_payload(job.cell, job.attempt, job.max_cycles)))
+            return
         try:
             bench = get(job.cell.benchmark)
         except KeyError as exc:

@@ -28,11 +28,13 @@ from repro.sim.sanitizer import InvariantViolation
 from repro.sim.stats import SimStats
 
 #: RunRecord.status values, roughly ordered by how alarming they are.
-#: The last two are produced only by the subprocess orchestrator
-#: (:mod:`repro.analysis.orchestrator`): a worker killed at its wall-clock
-#: deadline, and a worker that died without reporting (segfault/OOM).
+#: ``wall-timeout`` / ``worker-died`` are produced only by the subprocess
+#: orchestrator (:mod:`repro.analysis.orchestrator`): a worker killed at
+#: its wall-clock deadline, and a worker that died without reporting
+#: (segfault/OOM).  ``divergence`` is produced only by fuzz cells
+#: (:mod:`repro.fuzz.campaign`): the differential harness disagreed.
 STATUSES = ("ok", "timeout", "deadlock", "violation", "check-failed", "error",
-            "wall-timeout", "worker-died")
+            "wall-timeout", "worker-died", "divergence")
 
 
 @dataclass

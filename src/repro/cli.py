@@ -173,9 +173,120 @@ def cmd_sweep(args) -> int:
 
 def cmd_doctor(args) -> int:
     report, data = doctor_report(scale=args.scale, sms=args.sms,
-                                 benches=args.benchmarks or None)
+                                 benches=args.benchmarks or None,
+                                 fuzz_dir=args.fuzz_dir)
     print(report)
-    return 1 if data["failures"] else 0
+    stale = any(entry.get("stale") or "error" in entry
+                for entry in data.get("reproducers", []))
+    return 1 if (data["failures"] or stale) else 0
+
+
+def cmd_fuzz(args) -> int:
+    from repro.fuzz.campaign import (
+        CANARY_FAULT,
+        StaleReproducerError,
+        load_reproducer,
+        replay_reproducer,
+        run_campaign,
+    )
+    from repro.fuzz.differential import DEFAULT_MAX_CYCLES
+    from repro.fuzz.generator import GenConfig
+
+    max_cycles = args.max_cycles or DEFAULT_MAX_CYCLES
+
+    if args.replay:
+        try:
+            result = replay_reproducer(args.replay, max_cycles=max_cycles)
+        except StaleReproducerError as exc:
+            print(f"stale reproducer: {exc}", file=sys.stderr)
+            return 2
+        if result.ok:
+            print(f"{args.replay}: no divergence — the dumped bug no longer "
+                  f"reproduces on this tree")
+            return 0
+        print(f"{args.replay}: divergence reproduces "
+              f"({result.instructions} instructions)")
+        for divergence in result.divergences:
+            print(f"  {divergence}")
+        return 1
+
+    if args.resume and args.dir and args.resume != args.dir:
+        print("error: pass either --dir or --resume, not both", file=sys.stderr)
+        return 2
+    fuzz_dir = args.resume or args.dir
+    if fuzz_dir is None:
+        fuzz_dir = tempfile.mkdtemp(prefix="repro-fuzz-")
+    print(f"fuzz directory: {fuzz_dir} "
+          f"(resume an interrupted campaign with: repro fuzz --resume {fuzz_dir} …)")
+
+    fault = CANARY_FAULT if args.canary else None
+    gen = GenConfig(max_segments=args.max_segments)
+    try:
+        result = run_campaign(
+            args.n, seed=args.seed, gen=gen,
+            jobs=0 if args.serial else args.jobs,
+            wall_timeout=args.wall_timeout, time_budget=args.time_budget,
+            directory=fuzz_dir, resume=args.resume is not None,
+            fault=fault, oracle=args.oracle, max_cycles=max_cycles,
+            progress=lambda message: print(f"  {message}", file=sys.stderr),
+        )
+    except KeyboardInterrupt:
+        print(f"\ninterrupted; completed cases are journaled — resume with:\n"
+              f"  repro fuzz --resume {fuzz_dir} …", file=sys.stderr)
+        return 130
+
+    stats = result.stats
+    rows = [(key, stats[key]) for key in
+            ("cases", "ok", "divergent", "instructions_min",
+             "instructions_max", "instructions_mean")]
+    rows += [(f"segments[{kind}]", count)
+             for kind, count in stats["segment_kinds"].items()]
+    print(format_table(("corpus", "value"), rows,
+                       title=f"fuzz campaign - seeds {args.seed}.."
+                             f"{args.seed + args.n - 1}"))
+    if result.seeds_skipped:
+        print(f"\ntime budget hit: {len(result.seeds_skipped)} seed(s) unrun "
+              f"(resume with: repro fuzz --resume {fuzz_dir} …)")
+    for entry in result.divergent:
+        kinds = sorted({d["kind"] for d in entry["divergences"]}) or ["?"]
+        where = entry.get("path", "(no reproducer written)")
+        print(f"\nDIVERGENCE {entry['key']}: {', '.join(kinds)} "
+              f"-> {entry['instructions']} instruction reproducer\n  {where}")
+
+    if args.canary:
+        # Self-test: the pipeline must detect the planted fault, shrink it
+        # to a tiny reproducer, and replay it deterministically.
+        problems = []
+        if not result.divergent:
+            problems.append("planted fault was not detected")
+        if not result.reproducer_paths:
+            problems.append("no reproducer was written")
+        for path in result.reproducer_paths[:1]:
+            data = load_reproducer(path)
+            if data["instructions"] is None or data["instructions"] > 8:
+                problems.append(f"reproducer not minimal: "
+                                f"{data['instructions']} instructions (> 8)")
+            first = replay_reproducer(path, max_cycles=max_cycles)
+            second = replay_reproducer(path, max_cycles=max_cycles)
+            if first.ok:
+                problems.append("reproducer does not replay the divergence")
+            elif ([d.to_dict() for d in first.divergences]
+                  != [d.to_dict() for d in second.divergences]):
+                problems.append("replay is not deterministic")
+        if problems:
+            print("\nCANARY FAIL: " + "; ".join(problems), file=sys.stderr)
+            return 1
+        print("\nCANARY OK: planted fault detected, shrunk to "
+              "<= 8 instructions, and replayed deterministically")
+        return 0
+
+    if not result.ok:
+        print(f"\nFAIL: {len(result.divergent)} divergent case(s)",
+              file=sys.stderr)
+        return 1
+    print(f"\nOK: {stats['ok']}/{stats['cases']} cases clean across "
+          f"engines, architectures, and the sanitizer")
+    return 0
 
 
 def cmd_occupancy(args) -> int:
@@ -418,7 +529,54 @@ def build_parser() -> argparse.ArgumentParser:
     doc_p.add_argument("--benchmark", action="append", dest="benchmarks",
                        metavar="BENCH", default=None,
                        help="restrict to specific benchmarks (repeatable)")
+    doc_p.add_argument("--fuzz-dir", metavar="DIR", default=None,
+                       help="also list fuzz reproducer dumps under DIR "
+                            "(stale or unreadable dumps fail the doctor)")
     doc_p.set_defaults(fn=cmd_doctor)
+
+    fuzz_p = sub.add_parser(
+        "fuzz", help="property-based kernel fuzzing: generated kernels "
+                     "through every engine/arch against a reference "
+                     "executor, with shrinking and replayable reproducers")
+    fuzz_p.add_argument("--n", type=positive_int, default=50,
+                        help="number of seeded cases (default 50)")
+    fuzz_p.add_argument("--seed", type=nonneg_int, default=0,
+                        help="first seed; cases use seed..seed+n-1")
+    fuzz_p.add_argument("--jobs", type=positive_int, default=2,
+                        help="worker subprocesses (default 2)")
+    fuzz_p.add_argument("--serial", action="store_true",
+                        help="run in-process (no isolation; still journaled)")
+    fuzz_p.add_argument("--time-budget", type=positive_float, default=None,
+                        metavar="SECONDS",
+                        help="stop launching new batches after this much "
+                             "wall-clock; remaining seeds stay resumable")
+    fuzz_p.add_argument("--wall-timeout", type=positive_float, default=120.0,
+                        metavar="SECONDS",
+                        help="kill any single case exceeding this wall-clock "
+                             "budget (default 120)")
+    fuzz_p.add_argument("--dir", default=None,
+                        help="campaign directory for the journal and "
+                             "reproducers (default: a fresh temp directory)")
+    fuzz_p.add_argument("--resume", metavar="DIR", default=None,
+                        help="resume an interrupted campaign, re-running "
+                             "only seeds without a journal entry")
+    fuzz_p.add_argument("--max-cycles", type=positive_int, default=None,
+                        help="per-leg hard cycle budget")
+    fuzz_p.add_argument("--max-segments", type=positive_int, default=6,
+                        help="largest kernels to generate (default 6 segments)")
+    fuzz_p.add_argument("--oracle", choices=("record", "check"),
+                        default="record",
+                        help="'check' turns static-oracle idle disagreement "
+                             "into a divergence (default: record only)")
+    fuzz_p.add_argument("--canary", action="store_true",
+                        help="self-test: plant a known fault on the "
+                             "fast-forward leg and verify it is detected, "
+                             "shrunk to <= 8 instructions, and replayable")
+    fuzz_p.add_argument("--replay", metavar="FILE", default=None,
+                        help="replay a reproducer dump; exits 1 if the "
+                             "divergence reproduces, 0 if clean, 2 if the "
+                             "dump is stale")
+    fuzz_p.set_defaults(fn=cmd_fuzz)
 
     occ_p = sub.add_parser("occupancy", help="occupancy analysis of a kernel")
     add_sim_args(occ_p, with_arch=False)

@@ -1,0 +1,271 @@
+"""Differential testing of one generated kernel across engines and arches.
+
+For one spec, :func:`run_case` runs the full cross product:
+
+* **engines**: the per-cycle reference engine vs the event-driven
+  fast-forward engine (``cfg.fast_forward``), whose statistics must be
+  byte-identical (``SimStats.to_dict()`` equality);
+* **architectures**: ``baseline`` and ``vt`` (each with its own engine
+  pair and sanitizer run);
+* **sanitizer**: a ``sanitize=True`` leg per architecture, which both
+  checks the per-cycle invariants *and* cross-checks every observed
+  memory access cost against the static ``memaccess`` lo..hi bounds
+  (rule ``exec-access-cost``) — the oracle-bounds part of the contract;
+* **semantics**: every leg's final global memory must equal the
+  pure-python reference executor's (:mod:`repro.fuzz.reference`),
+  compared bit-exactly (``NaN`` positions included);
+* **static oracle**: the performance oracle's idle-class prediction is
+  compared against the measured idle breakdown (recorded always;
+  enforced when ``oracle="check"``).
+
+The simulated :class:`~repro.sim.config.GPUConfig` is *sampled* per seed
+(:func:`sample_config`): SM count, warp scheduler, CTA dispatch order,
+VT trigger/select policies, and MSHR pressure all vary, so scheduling-
+dependent engine bugs cannot hide behind one fixed configuration.
+
+A ``fault`` plan (a :class:`repro.sim.faults.FaultPlan` as a dict) is
+applied to the fast-forward leg only — the planted-bug canary: injected
+fill delays silently change that leg's timing, which the stats
+comparison must detect.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fuzz.generator import materialize
+from repro.fuzz.reference import reference_execute
+from repro.sim.config import GPUConfig, scaled_fermi
+from repro.sim.faults import FaultPlan
+from repro.sim.gpu import GPU
+
+#: Cycle budget per simulation leg; generated kernels finish orders of
+#: magnitude earlier, so hitting it is itself a reportable divergence.
+DEFAULT_MAX_CYCLES = 300_000
+
+ARCHS = ("baseline", "vt")
+
+#: Divergence kinds, roughly ordered by severity.
+KINDS = ("lint", "reference-crash", "crash", "sanitizer", "stats-mismatch",
+         "output-mismatch", "oracle-idle")
+
+
+def sample_config(seed: int, version: int = 1) -> GPUConfig:
+    """Deterministically sample the simulated machine for one case."""
+    rng = random.Random(f"repro-fuzz-cfg:v{version}:{seed}")
+    return scaled_fermi(
+        num_sms=rng.choice((1, 2)),
+        warp_scheduler=rng.choice(("lrr", "gto", "two-level")),
+        cta_dispatch=rng.choice(("round-robin", "fill-first")),
+        vt_trigger_policy=rng.choice(("all-stalled", "majority-stalled",
+                                      "timeout")),
+        vt_select_policy=rng.choice(("oldest-ready", "most-ready",
+                                     "most-recent")),
+        l1_mshrs=rng.choice((64, 64, 8)),
+    )
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One detected disagreement between two views of the same kernel."""
+
+    kind: str  # see KINDS
+    leg: str  # e.g. "vt/fast-forward", "baseline/sanitize", "case"
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "leg": self.leg, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Divergence":
+        return cls(kind=data["kind"], leg=data["leg"], detail=data["detail"])
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.leg}: {self.detail}"
+
+
+@dataclass
+class DiffResult:
+    """Everything the differential harness learned about one spec."""
+
+    spec: dict
+    divergences: list[Divergence] = field(default_factory=list)
+    #: leg name -> {"status": "ok"|..., "cycles": int|None}
+    legs: dict = field(default_factory=dict)
+    instructions: int = 0
+    oracle: dict = field(default_factory=dict)  # arch -> prediction summary
+    #: stats dict of the first architecture's reference leg (for reporting)
+    ref_stats: dict | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        if self.ok:
+            return "ok"
+        return "; ".join(str(d) for d in self.divergences[:4])
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec,
+            "ok": self.ok,
+            "divergences": [d.to_dict() for d in self.divergences],
+            "legs": self.legs,
+            "instructions": self.instructions,
+            "oracle": self.oracle,
+        }
+
+
+def _first_stat_diff(a: dict, b: dict, path: str = "") -> str:
+    """Human-readable first difference between two stats dicts."""
+    for key in sorted(set(a) | set(b)):
+        va, vb = a.get(key), b.get(key)
+        where = f"{path}{key}"
+        if isinstance(va, dict) and isinstance(vb, dict):
+            nested = _first_stat_diff(va, vb, where + ".")
+            if nested:
+                return nested
+        elif isinstance(va, list) and isinstance(vb, list):
+            for i, (ia, ib) in enumerate(zip(va, vb)):
+                if isinstance(ia, dict) and isinstance(ib, dict):
+                    nested = _first_stat_diff(ia, ib, f"{where}[{i}].")
+                    if nested:
+                        return nested
+                elif ia != ib:
+                    return f"{where}[{i}]: {ia} != {ib}"
+            if len(va) != len(vb):
+                return f"{where}: length {len(va)} != {len(vb)}"
+        elif va != vb:
+            return f"{where}: {va} != {vb}"
+    return ""
+
+
+def _output_diff(got: np.ndarray, expected: np.ndarray) -> str:
+    same = (got == expected) | (np.isnan(got) & np.isnan(expected))
+    bad = np.flatnonzero(~same)
+    first = int(bad[0])
+    return (f"{bad.size} word(s) differ; first at word {first}: "
+            f"got {got[first]!r}, expected {expected[first]!r}")
+
+
+def run_case(spec: dict, cfg: GPUConfig | None = None, *,
+             max_cycles: int = DEFAULT_MAX_CYCLES, fault: dict | None = None,
+             oracle: str = "record", archs: tuple[str, ...] = ARCHS) -> DiffResult:
+    """Run the full differential matrix for one spec; never raises for a
+    kernel-level problem — everything lands in ``result.divergences``.
+
+    ``oracle="check"`` turns an idle-class disagreement into a divergence;
+    the default records the prediction alongside the measurement.
+    ``fault`` (a :class:`FaultPlan` field dict) is injected into the
+    fast-forward leg only.
+    """
+    result = DiffResult(spec=spec)
+
+    try:
+        case = materialize(spec)
+    except Exception as exc:  # noqa: BLE001 - the harness must not die
+        result.divergences.append(Divergence(
+            "reference-crash", "case", f"materialize: {type(exc).__name__}: {exc}"))
+        return result
+    result.instructions = len(case.kernel.instrs)
+
+    from repro.isa.analysis import lint_kernel
+
+    report = lint_kernel(case.kernel)
+    if not report.ok(strict=True):
+        for finding in (report.errors + report.warnings)[:4]:
+            result.divergences.append(Divergence("lint", "case", str(finding)))
+        return result
+
+    cfg = cfg if cfg is not None else sample_config(spec["seed"])
+
+    gmem, params = case.make_gmem(line_bytes=cfg.line_bytes)
+    expected = gmem.data.copy()
+    try:
+        reference_execute(case.kernel, case.grid_dim, expected, params)
+    except Exception as exc:  # noqa: BLE001
+        result.divergences.append(Divergence(
+            "reference-crash", "case", f"{type(exc).__name__}: {exc}"))
+        return result
+
+    def launch(leg: str, run_cfg: GPUConfig, faults=None):
+        """One simulation leg; returns (stats_dict, data) or (None, None)."""
+        fresh, fresh_params = case.make_gmem(line_bytes=run_cfg.line_bytes)
+        try:
+            res = GPU(run_cfg).launch(case.kernel, case.grid_dim, fresh,
+                                      fresh_params, max_cycles=max_cycles,
+                                      faults=faults)
+        except Exception as exc:  # noqa: BLE001
+            from repro.sim.sanitizer import InvariantViolation
+
+            kind = ("sanitizer" if isinstance(exc, InvariantViolation)
+                    else "crash")
+            result.divergences.append(Divergence(
+                kind, leg, f"{type(exc).__name__}: {exc}"))
+            result.legs[leg] = {"status": kind, "cycles": None}
+            return None, None
+        result.legs[leg] = {"status": "ok", "cycles": res.stats.cycles}
+        return res.stats.to_dict(), fresh.data
+
+    for arch in archs:
+        base = cfg.with_(arch=arch)
+        ref_stats, ref_data = launch(
+            f"{arch}/reference", base.with_(fast_forward=False))
+        if result.ref_stats is None and ref_stats is not None:
+            result.ref_stats = ref_stats
+        fault_plan = FaultPlan(**fault) if fault else None
+        ff_stats, ff_data = launch(
+            f"{arch}/fast-forward", base.with_(fast_forward=True),
+            faults=fault_plan)
+        san_stats, san_data = launch(
+            f"{arch}/sanitize", base.with_(sanitize=True, fast_forward=False))
+
+        if ref_stats is not None and ff_stats is not None and ref_stats != ff_stats:
+            result.divergences.append(Divergence(
+                "stats-mismatch", f"{arch}/fast-forward",
+                _first_stat_diff(ff_stats, ref_stats)))
+        if ref_stats is not None and san_stats is not None and ref_stats != san_stats:
+            result.divergences.append(Divergence(
+                "stats-mismatch", f"{arch}/sanitize",
+                _first_stat_diff(san_stats, ref_stats)))
+        for leg, data in (("reference", ref_data), ("fast-forward", ff_data),
+                          ("sanitize", san_data)):
+            if data is not None and not np.array_equal(data, expected,
+                                                       equal_nan=True):
+                result.divergences.append(Divergence(
+                    "output-mismatch", f"{arch}/{leg}",
+                    _output_diff(data, expected)))
+
+        # -- static oracle vs measurement ---------------------------------
+        if ref_stats is not None:
+            from repro.isa.analysis.perf import idle_agreement, predict
+            from repro.sim.stats import SimStats
+
+            try:
+                prediction = predict(case.kernel, base, arch=arch)
+            except Exception as exc:  # noqa: BLE001 - oracle crash is a finding
+                result.divergences.append(Divergence(
+                    "oracle-idle", f"{arch}/oracle",
+                    f"predict crashed: {type(exc).__name__}: {exc}"))
+                continue
+            breakdown = SimStats.from_dict(ref_stats).idle_breakdown()
+            agrees, dominant, ratio = idle_agreement(
+                prediction.idle_class, breakdown)
+            result.oracle[arch] = {
+                "limiter": prediction.limiter,
+                "idle_class": prediction.idle_class,
+                "measured_idle": dominant,
+                "agreement_ratio": round(ratio, 3),
+                "agrees": bool(agrees),
+            }
+            if oracle == "check" and not agrees:
+                result.divergences.append(Divergence(
+                    "oracle-idle", f"{arch}/oracle",
+                    f"predicted {prediction.idle_class}, measured {dominant} "
+                    f"(ratio {ratio:.2f})"))
+
+    return result

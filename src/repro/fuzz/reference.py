@@ -1,0 +1,240 @@
+"""Sequential per-thread reference executor for generated kernels.
+
+This is the semantic oracle of the differential harness: an interpreter
+with *no* timing model, no warps, no caches — each thread of each CTA is
+executed to completion as a scalar program, with barrier phases aligning
+threads of a CTA at every ``BAR``.
+
+Bit-exactness with the simulator's functional executor is achieved by
+reusing its operator tables (:data:`repro.sim.exec._INT_BIN` et al.) on
+1-element ``float64`` arrays — every arithmetic result goes through the
+exact same numpy expression as the SIMD path, so even overflow to ``inf``
+or a propagating ``NaN`` is reproduced bit for bit.
+
+The executor is only a valid oracle for kernels obeying the generator's
+memory discipline (:mod:`repro.fuzz.generator`): stores injective per
+thread, loads from read-only buffers, and atomics exactly commutative.
+Under those invariants any thread interleaving — including this one,
+fully sequential — produces the same final memory image as the
+simulator's warp-parallel execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.instruction import Imm, MemRef, Reg, SReg, SpecialReg
+from repro.isa.opcodes import Op
+from repro.sim.exec import _CMP, _FLOAT_BIN, _INT_BIN
+from repro.sim.memory import MemoryError_
+
+#: Per-thread dynamic instruction budget; generated loops are bounded far
+#: below this, so hitting it means a generator or interpreter bug.
+MAX_STEPS = 200_000
+
+
+class ReferenceExecError(RuntimeError):
+    """A semantic error (or budget blow-up) in the reference interpreter."""
+
+
+def _special_values(t: int, ctaid, kernel, grid_dim, params) -> dict:
+    """Special-register values for CTA-linear thread ``t``; mirrors
+    :meth:`repro.sim.cta.CTA._special_regs` exactly (lane ``t % 32`` of
+    local warp ``t // 32`` has linear id ``t``)."""
+    ntid_x, ntid_y, ntid_z = kernel.cta_dim
+    values = {
+        SpecialReg.TID_X: float(t % ntid_x),
+        SpecialReg.TID_Y: float((t // ntid_x) % ntid_y),
+        SpecialReg.TID_Z: float(t // (ntid_x * ntid_y)),
+        SpecialReg.CTAID_X: float(ctaid[0]),
+        SpecialReg.CTAID_Y: float(ctaid[1]),
+        SpecialReg.CTAID_Z: float(ctaid[2]),
+        SpecialReg.NTID_X: float(ntid_x),
+        SpecialReg.NTID_Y: float(ntid_y),
+        SpecialReg.NTID_Z: float(ntid_z),
+        SpecialReg.NCTAID_X: float(grid_dim[0]),
+        SpecialReg.NCTAID_Y: float(grid_dim[1]),
+        SpecialReg.NCTAID_Z: float(grid_dim[2]),
+        SpecialReg.LANEID: float(t % 32),
+        SpecialReg.WARPID: float(t // 32),
+    }
+    param_kinds = (SpecialReg.PARAM0, SpecialReg.PARAM1, SpecialReg.PARAM2,
+                   SpecialReg.PARAM3, SpecialReg.PARAM4, SpecialReg.PARAM5,
+                   SpecialReg.PARAM6, SpecialReg.PARAM7)
+    for i, kind in enumerate(param_kinds):
+        values[kind] = float(params[i]) if i < len(params) else 0.0
+    return values
+
+
+class _Thread:
+    """One scalar thread: registers, pc, and barrier/exit state."""
+
+    __slots__ = ("regs", "sregs", "pc", "done", "steps")
+
+    def __init__(self, nregs: int, sregs: dict):
+        self.regs = np.zeros(nregs, dtype=np.float64)
+        self.sregs = sregs
+        self.pc = 0
+        self.done = False
+        self.steps = 0
+
+
+def _mem_index(data: np.ndarray, addr: int, space: str) -> int:
+    if addr & 3:
+        raise MemoryError_(f"misaligned {space} access at byte {addr}")
+    idx = addr >> 2
+    if idx < 0 or idx >= data.size:
+        raise MemoryError_(f"{space} access out of bounds: byte {addr}")
+    return idx
+
+
+def _run_thread(thread: _Thread, kernel, gdata: np.ndarray,
+                sdata: np.ndarray, smem_bytes: int) -> None:
+    """Run one thread until it consumes a BAR, exits, or errors."""
+    instrs = kernel.instrs
+    regs = thread.regs
+
+    def rd(operand) -> np.ndarray:
+        if isinstance(operand, Reg):
+            return regs[operand.idx : operand.idx + 1]
+        if isinstance(operand, Imm):
+            return np.full(1, float(operand.value))
+        if isinstance(operand, SReg):
+            return np.full(1, thread.sregs[operand.kind])
+        raise ReferenceExecError(f"cannot read operand {operand!r}")
+
+    def rd_int(operand) -> np.ndarray:
+        return rd(operand).astype(np.int64)
+
+    def wr(instr, values) -> None:
+        regs[instr.dst.idx] = np.asarray(values, dtype=np.float64)[0]
+
+    while True:
+        thread.steps += 1
+        if thread.steps > MAX_STEPS:
+            raise ReferenceExecError(
+                f"thread exceeded {MAX_STEPS} steps in {kernel.name!r}")
+        if thread.pc >= len(instrs):
+            raise ReferenceExecError(f"pc {thread.pc} fell off {kernel.name!r}")
+        instr = instrs[thread.pc]
+        op = instr.op
+
+        enabled = True
+        if instr.pred is not None:
+            enabled = regs[instr.pred.idx] != 0
+            if instr.pred_neg:
+                enabled = not enabled
+
+        if op is Op.BRA:
+            thread.pc = instr.target if enabled else thread.pc + 1
+            continue
+        if op is Op.EXIT:
+            if instr.pred is not None:
+                raise ReferenceExecError("predicated EXIT is not supported")
+            thread.done = True
+            return
+        if op is Op.BAR:
+            if instr.pred is not None:
+                raise ReferenceExecError("predicated BAR is not supported")
+            thread.pc += 1
+            return
+        if not enabled or op is Op.NOP:
+            thread.pc += 1
+            continue
+
+        if op in _INT_BIN:
+            a, b = rd_int(instr.srcs[0]), rd_int(instr.srcs[1])
+            if op in (Op.SHL, Op.SHR) and (b < 0).any():
+                raise ReferenceExecError("negative shift amount")
+            wr(instr, _INT_BIN[op](a, b).astype(np.float64))
+        elif op in _FLOAT_BIN:
+            wr(instr, _FLOAT_BIN[op](rd(instr.srcs[0]), rd(instr.srcs[1])))
+        elif op is Op.IMAD:
+            a, b, c = (rd_int(s) for s in instr.srcs)
+            wr(instr, (a * b + c).astype(np.float64))
+        elif op is Op.FFMA:
+            a, b, c = (rd(s) for s in instr.srcs)
+            wr(instr, a * b + c)
+        elif op in (Op.IDIV, Op.IREM):
+            a, b = rd_int(instr.srcs[0]), rd_int(instr.srcs[1])
+            if (b == 0).any():
+                raise ReferenceExecError("integer division by zero")
+            quotient = np.trunc(a / b).astype(np.int64)
+            wr(instr, (quotient if op is Op.IDIV else a - quotient * b
+                       ).astype(np.float64))
+        elif op is Op.FDIV:
+            a, b = rd(instr.srcs[0]), rd(instr.srcs[1])
+            if (b == 0).any():
+                raise ReferenceExecError("float division by zero")
+            wr(instr, a / b)
+        elif op is Op.FSQRT:
+            a = rd(instr.srcs[0])
+            if (a < 0).any():
+                raise ReferenceExecError("sqrt of negative value")
+            wr(instr, np.sqrt(a))
+        elif op is Op.FEXP:
+            wr(instr, np.exp(rd(instr.srcs[0])))
+        elif op is Op.FABS:
+            wr(instr, np.abs(rd(instr.srcs[0])))
+        elif op is Op.I2F:
+            wr(instr, rd_int(instr.srcs[0]).astype(np.float64))
+        elif op is Op.F2I:
+            wr(instr, np.trunc(rd(instr.srcs[0])))
+        elif op in (Op.MOV, Op.S2R):
+            wr(instr, rd(instr.srcs[0]))
+        elif op is Op.SEL:
+            c, a, b = (rd(s) for s in instr.srcs)
+            wr(instr, np.where(c != 0, a, b))
+        elif op is Op.SETP:
+            a, b = rd(instr.srcs[0]), rd(instr.srcs[1])
+            wr(instr, _CMP[instr.cmp](a, b).astype(np.float64))
+        elif op in (Op.LDG, Op.STG, Op.ATOMG_ADD, Op.ATOMG_MAX,
+                    Op.LDS, Op.STS, Op.ATOMS_ADD):
+            ref: MemRef = instr.srcs[0]
+            addr = int(np.int64(regs[ref.base.idx])) + ref.offset
+            if op in (Op.LDS, Op.STS, Op.ATOMS_ADD):
+                if addr + 4 > smem_bytes:
+                    raise MemoryError_(
+                        f"shared access out of bounds: byte {addr}")
+                data = sdata
+            else:
+                data = gdata
+            idx = _mem_index(data, addr, "shared" if data is sdata else "global")
+            if op in (Op.LDG, Op.LDS):
+                wr(instr, data[idx : idx + 1])
+            elif op in (Op.STG, Op.STS):
+                data[idx] = rd(instr.srcs[1])[0]
+            else:  # atomics: sequential read-modify-write, old value out
+                old = data[idx]
+                val = rd(instr.srcs[1])[0]
+                data[idx] = max(old, val) if op is Op.ATOMG_MAX else old + val
+                wr(instr, np.full(1, old))
+        else:
+            raise ReferenceExecError(f"unhandled opcode {op}")
+
+        thread.pc += 1
+
+
+def reference_execute(kernel, grid_dim, data: np.ndarray,
+                      params: tuple[float, ...] = ()) -> None:
+    """Execute ``kernel`` over ``grid_dim`` CTAs, mutating ``data`` (the
+    flat word array of a :class:`~repro.sim.memory.GlobalMemory`) in place.
+
+    CTAs run sequentially; threads of a CTA run in barrier phases (each
+    thread advances until its next ``BAR`` or ``EXIT``, then the barrier
+    releases once every unfinished thread has arrived).
+    """
+    gx, gy, gz = grid_dim
+    nthreads = kernel.threads_per_cta
+    smem_words = max(1, kernel.smem_bytes // 4)
+    for cta in range(gx * gy * gz):
+        ctaid = (cta % gx, (cta // gx) % gy, cta // (gx * gy))
+        sdata = np.zeros(smem_words, dtype=np.float64)
+        threads = []
+        for t in range(nthreads):
+            sregs = _special_values(t, ctaid, kernel, grid_dim, params)
+            threads.append(_Thread(kernel.regs_per_thread, sregs))
+        while any(not t.done for t in threads):
+            for thread in threads:
+                if not thread.done:
+                    _run_thread(thread, kernel, data, sdata, kernel.smem_bytes)

@@ -1,0 +1,219 @@
+"""Delta-debugging shrinker for fuzz divergences.
+
+Shrinking operates purely on the *spec* (the JSON-able recipe consumed by
+:func:`repro.fuzz.generator.materialize`), never on the instruction
+stream — every candidate is re-materialized through the same grammar, so
+a shrunken reproducer is still lint-strict-clean by construction and can
+be replayed from its spec alone.
+
+Three reduction families run to a fixed point, cheapest first:
+
+1. **segment removal** — classic ddmin over the segment list (try
+   dropping halves, then quarters, ... then single segments);
+2. **structure reduction** — ``grid_x -> 1``, ``cta_x -> min``, and
+   finally dropping the accumulator prologue/epilogue (``use_acc``);
+3. **knob reduction** — per-segment knobs are individually driven toward
+   their smallest value (loop trips to 2, arith chains to one op, atomic
+   slots to 1, ...).
+
+Before any of that, a **canonical-minimum probe** tries a handful of
+floored one-segment specs (one per segment kind present, plus a bare
+strided load, each with and without the accumulator) sorted by emitted
+instruction count — engine-level bugs like a fault-injected fill delay
+reproduce on almost any kernel with one load, so this usually jumps
+straight to a 7-instruction reproducer instead of walking down to it.
+
+The caller supplies ``is_bad(spec) -> bool`` ("does the divergence still
+reproduce?"); results are memoized by spec fingerprint so re-visited
+candidates cost nothing.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+from repro.fuzz.generator import materialize
+
+#: Per-knob "smallest interesting" values tried during knob reduction.
+#: Order matters for string knobs: the first value that still reproduces
+#: wins, so put the simplest first.
+_KNOB_FLOOR = {
+    "n": (1,),
+    "body_n": (1,),
+    "trips": (2,),
+    "divergent": (False,),
+    "stride": (0, 1),
+    "offset": (0,),
+    "rot": (1,),
+    "cut": (1,),
+    "slots": (1,),
+    "sub": (0,),
+    "v1": (1.0,),
+    "v2": (1.0,),
+    "c1": (1.0,),
+    "c2": (1.0,),
+    "writeback": (False,),
+    "val": ("one",),
+    "op": ("add",),
+    "fn": ("sqrt",),
+    "src": ("tid",),
+    "buf": (0,),
+    "flavor": ("int",),
+}
+
+
+def _floored(segment: dict) -> dict:
+    return {k: (_KNOB_FLOOR[k][0] if k in _KNOB_FLOOR else v)
+            for k, v in segment.items()}
+
+
+def _instruction_count(spec: dict) -> int:
+    try:
+        return len(materialize(spec).kernel.instrs)
+    except Exception:  # noqa: BLE001 - unbuildable candidates sort last
+        return 1 << 30
+
+
+def _minimal_candidates(spec: dict) -> list[dict]:
+    """Floored one-segment specs to probe first, smallest kernel first."""
+    base = {"v": spec.get("v", 1), "seed": spec["seed"],
+            "cta_x": 32, "grid_x": 1}
+    segment_choices = [
+        {"kind": "gload", "buf": 0, "stride": 0, "offset": 0, "fold": True,
+         "writeback": False},
+        # The smallest kernel whose *timing* depends on a load: the
+        # writeback store must wait for the fill (8 instructions total).
+        {"kind": "gload", "buf": 0, "stride": 0, "offset": 0, "fold": True,
+         "writeback": True},
+    ]
+    seen = set()
+    for segment in spec["segments"]:
+        if segment["kind"] not in seen:
+            seen.add(segment["kind"])
+            segment_choices.append(_floored(segment))
+    candidates = [dict(base, use_acc=use_acc, segments=[dict(segment)])
+                  for segment in segment_choices
+                  for use_acc in (False, True)]
+    candidates.sort(key=_instruction_count)
+    return candidates
+
+
+class _Shrinker:
+    def __init__(self, is_bad, max_tests: int):
+        self._is_bad = is_bad
+        self._max_tests = max_tests
+        self._cache: dict[str, bool] = {}
+        self.tests = 0
+
+    def bad(self, spec: dict) -> bool:
+        key = json.dumps(spec, sort_keys=True)
+        if key in self._cache:
+            return self._cache[key]
+        if self.tests >= self._max_tests:
+            return False  # budget exhausted: treat as "didn't reproduce"
+        self.tests += 1
+        verdict = bool(self._is_bad(spec))
+        self._cache[key] = verdict
+        return verdict
+
+
+def _ddmin_segments(spec: dict, sh: _Shrinker) -> dict:
+    """Minimize ``spec['segments']`` by ddmin chunk removal."""
+    segments = spec["segments"]
+    chunk = max(1, len(segments) // 2)
+    while len(segments) > 1:
+        removed_any = False
+        start = 0
+        while start < len(segments):
+            candidate = dict(spec)
+            candidate["segments"] = segments[:start] + segments[start + chunk:]
+            if candidate["segments"] and sh.bad(candidate):
+                segments = candidate["segments"]
+                removed_any = True
+                # restart at same index: the list shifted left under us
+            else:
+                start += chunk
+        if not removed_any:
+            if chunk == 1:
+                break
+            chunk = max(1, chunk // 2)
+    spec = dict(spec)
+    spec["segments"] = segments
+    return spec
+
+
+def _reduce_structure(spec: dict, sh: _Shrinker) -> dict:
+    for key, floor in (("grid_x", 1), ("cta_x", 32)):
+        if spec.get(key, floor) != floor:
+            candidate = dict(spec)
+            candidate[key] = floor
+            if sh.bad(candidate):
+                spec = candidate
+    if spec.get("use_acc", True):
+        candidate = dict(spec)
+        candidate["use_acc"] = False
+        if sh.bad(candidate):
+            spec = candidate
+    return spec
+
+
+def _reduce_knobs(spec: dict, sh: _Shrinker) -> dict:
+    for i, segment in enumerate(spec["segments"]):
+        for knob, floors in _KNOB_FLOOR.items():
+            if knob not in segment:
+                continue
+            for floor in floors:
+                if segment.get(knob) == floor:
+                    break
+                candidate = copy.deepcopy(spec)
+                if segment["kind"] == "atomic" and knob == "op":
+                    # Floor the reduction op on *every* atomic segment at
+                    # once: mixing ops over one cell makes the final value
+                    # interleaving-dependent, which would let the shrinker
+                    # wander onto a divergence it invented itself.
+                    for other in candidate["segments"]:
+                        if other["kind"] == "atomic":
+                            other[knob] = floor
+                else:
+                    candidate["segments"][i][knob] = floor
+                if sh.bad(candidate):
+                    spec = candidate
+                    segment = spec["segments"][i]
+                    break
+    return spec
+
+
+def shrink_spec(spec: dict, is_bad, max_tests: int = 300) -> tuple[dict, dict]:
+    """Minimize ``spec`` while ``is_bad(spec)`` keeps returning True.
+
+    Returns ``(smallest_spec, info)`` where ``info`` records the number of
+    reduction tests executed and the before/after segment counts. If the
+    original spec does not reproduce (``is_bad(spec)`` is False), it is
+    returned unchanged with ``info["reproduced"] = False``.
+    """
+    sh = _Shrinker(is_bad, max_tests)
+    original_segments = len(spec["segments"])
+    if not sh.bad(spec):
+        return spec, {"reproduced": False, "tests": sh.tests,
+                      "segments_before": original_segments,
+                      "segments_after": original_segments}
+
+    current = copy.deepcopy(spec)
+    for candidate in _minimal_candidates(spec):
+        if sh.bad(candidate):
+            current = candidate
+            break
+    while True:
+        before = json.dumps(current, sort_keys=True)
+        current = _ddmin_segments(current, sh)
+        current = _reduce_structure(current, sh)
+        current = _reduce_knobs(current, sh)
+        if json.dumps(current, sort_keys=True) == before:
+            break
+        if sh.tests >= max_tests:
+            break
+
+    return current, {"reproduced": True, "tests": sh.tests,
+                     "segments_before": original_segments,
+                     "segments_after": len(current["segments"])}

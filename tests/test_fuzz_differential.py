@@ -1,0 +1,70 @@
+"""Differential harness: clean cases pass every leg, planted faults are
+detected, and case-level crashes become divergences instead of raising."""
+
+import pytest
+
+from repro.fuzz.campaign import CANARY_FAULT
+from repro.fuzz.differential import Divergence, run_case, sample_config
+from repro.fuzz.generator import generate_spec
+
+
+def test_sample_config_is_deterministic_and_varied():
+    assert sample_config(4) == sample_config(4)
+    configs = [sample_config(seed) for seed in range(12)]
+    assert len({cfg.warp_scheduler for cfg in configs}) > 1
+
+
+def test_clean_case_runs_every_leg():
+    result = run_case(generate_spec(0))
+    assert result.ok, result.summary()
+    assert set(result.legs) == {
+        f"{arch}/{leg}" for arch in ("baseline", "vt")
+        for leg in ("reference", "fast-forward", "sanitize")}
+    assert all(info["status"] == "ok" for info in result.legs.values())
+    assert result.instructions > 0
+    assert result.ref_stats is not None
+    # The oracle prediction is recorded for both architectures.
+    assert set(result.oracle) == {"baseline", "vt"}
+    for summary in result.oracle.values():
+        assert {"limiter", "idle_class", "measured_idle", "agrees"} \
+            <= set(summary)
+
+
+def test_planted_fault_is_detected_as_stats_mismatch():
+    result = run_case(generate_spec(0), fault=CANARY_FAULT)
+    assert not result.ok
+    assert {d.kind for d in result.divergences} == {"stats-mismatch"}
+    # Only the fast-forward leg carries the fault.
+    assert all(d.leg.endswith("/fast-forward") for d in result.divergences)
+
+
+def test_broken_spec_becomes_divergence_not_exception():
+    bad = {"v": 1, "seed": 0, "cta_x": 32, "grid_x": 1, "use_acc": True,
+           "segments": [{"kind": "no-such-kind"}]}
+    result = run_case(bad)
+    assert not result.ok
+    assert result.divergences[0].kind == "reference-crash"
+
+
+def test_divergence_roundtrips_and_prints():
+    divergence = Divergence("stats-mismatch", "vt/fast-forward", "cycles differ")
+    assert Divergence.from_dict(divergence.to_dict()) == divergence
+    assert "stats-mismatch" in str(divergence)
+
+
+def test_result_to_dict_is_json_safe():
+    import json
+
+    result = run_case(generate_spec(1), fault=CANARY_FAULT)
+    payload = json.dumps(result.to_dict())
+    assert "divergences" in payload
+
+
+@pytest.mark.parametrize("seed", [2, 3])
+def test_case_is_deterministic(seed):
+    spec = generate_spec(seed)
+    first = run_case(spec)
+    second = run_case(spec)
+    assert first.ok and second.ok
+    assert first.legs == second.legs
+    assert first.oracle == second.oracle

@@ -71,6 +71,23 @@ def test_float_and_int_immediates_roundtrip():
     assert rebuilt.instrs == kernel.instrs
 
 
+@pytest.mark.parametrize("seed", range(12))
+def test_generated_kernel_roundtrips(seed):
+    """The round-trip property holds over the fuzz grammar, not just the
+    registry: assemble(disassemble(k)) is exact for generated kernels."""
+    from repro.fuzz.generator import generate_spec, materialize
+
+    kernel = materialize(generate_spec(seed)).kernel
+    rebuilt = assemble(kernel.disassemble())
+    assert rebuilt.name == kernel.name
+    assert rebuilt.instrs == kernel.instrs
+    assert rebuilt.regs_per_thread == kernel.regs_per_thread
+    assert rebuilt.smem_bytes == kernel.smem_bytes
+    assert rebuilt.cta_dim == kernel.cta_dim
+    # And the round trip is a fixed point.
+    assert assemble(rebuilt.disassemble()).instrs == kernel.instrs
+
+
 def test_predicates_roundtrip():
     b = KernelBuilder("preds", regs_per_thread=4, cta_dim=(64, 1, 1))
     b.s2r(0, "tid_x")
