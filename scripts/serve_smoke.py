@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""CI smoke for the fault-tolerant serve stack (see docs/ROBUSTNESS.md).
+
+One scripted campaign proves the headline robustness claims end to end,
+against the real server as a separate OS process:
+
+1. a cold **serial** sweep (no store, no server) establishes the ground
+   truth ``stats_sha256`` per (benchmark, arch) cell;
+2. a server is started and a batch with duplicate specs is submitted —
+   at least one submission must **coalesce** onto an in-flight job;
+3. the server is SIGKILLed mid-campaign, restarted on the same store,
+   and the batch resubmitted — completed cells must come back
+   ``cached`` (no re-simulation) and the campaign must finish;
+4. a final resubmission of the whole campaign must be >= 90% cache
+   reads, and every served digest must equal the cold serial run's —
+   byte-identical results across crash, restart, and cache.
+
+Exit code 0 on success; any violated claim raises with diagnostics.
+The work directory (store, quarantine, artifacts, cold summary) is left
+in place for CI to upload on failure.
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+BENCHES = ["vecadd", "stride"]
+ARCHS = ["baseline", "vt"]
+
+
+def sh_env():
+    env = dict(os.environ, PYTHONUNBUFFERED="1")
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    return env
+
+
+def cold_truth(workdir, scale, sms):
+    """Serial no-store sweep; returns {(bench, arch): stats_sha256}."""
+    cmd = [sys.executable, "-m", "repro", "sweep", "--serial",
+           "--scale", str(scale), "--sms", str(sms),
+           "--dir", os.path.join(workdir, "cold-journal"),
+           "--format", "json"]
+    for bench in BENCHES:
+        cmd += ["--benchmark", bench]
+    out = subprocess.run(cmd, check=True, env=sh_env(),
+                         capture_output=True, text=True).stdout
+    summary = json.loads(out)
+    with open(os.path.join(workdir, "cold-summary.json"), "w") as handle:
+        handle.write(out)
+    if not summary["ok"]:
+        raise SystemExit(f"cold sweep failed: {summary['counts']}")
+    return {(c["benchmark"], c["arch"]): c["stats_sha256"]
+            for c in summary["cells"]}
+
+
+def start_server(store_dir):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--dir", store_dir,
+         "--port", "0", "--jobs", "2"],
+        stdout=subprocess.PIPE, text=True, env=sh_env())
+    banner = proc.stdout.readline()
+    if "listening on http://127.0.0.1:" not in banner:
+        proc.kill()
+        raise SystemExit(f"server failed to start: {banner!r}")
+    port = int(banner.split("http://127.0.0.1:")[1].split()[0])
+    print(f"  server pid={proc.pid} port={port}")
+    return proc, f"http://127.0.0.1:{port}"
+
+
+def post_jobs(base, specs):
+    request = urllib.request.Request(
+        base + "/v1/jobs", data=json.dumps({"jobs": specs}).encode(),
+        method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return json.loads(error.read())
+
+
+def poll_done(base, fingerprint, timeout=300.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        with urllib.request.urlopen(
+                base + f"/v1/jobs/{fingerprint}", timeout=30) as response:
+            view = json.loads(response.read())
+        if view["state"] == "done":
+            return view
+        time.sleep(0.2)
+    raise SystemExit(f"job {fingerprint} did not finish in {timeout}s")
+
+
+def require(condition, message):
+    if not condition:
+        raise SystemExit(f"FAIL: {message}")
+    print(f"  ok: {message}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dir", default="serve-smoke",
+                        help="work directory (left behind for forensics)")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--sms", type=int, default=1)
+    args = parser.parse_args()
+    os.makedirs(args.dir, exist_ok=True)
+    store_dir = os.path.join(args.dir, "store")
+
+    print("== cold serial ground truth ==")
+    truth = cold_truth(args.dir, args.scale, args.sms)
+
+    specs = [{"benchmark": bench, "arch": arch,
+              "scale": args.scale, "sms": args.sms}
+             for bench in BENCHES for arch in ARCHS]
+    batch = specs + specs  # every spec submitted twice: dedupe must fire
+
+    print("== campaign 1: submit duplicates, SIGKILL mid-run ==")
+    proc, base = start_server(store_dir)
+    try:
+        results = post_jobs(base, batch)["results"]
+        outcomes = [r["outcome"] for r in results]
+        print(f"  outcomes: {outcomes}")
+        require(outcomes.count("coalesced") >= 1,
+                "duplicate submissions coalesced onto in-flight jobs")
+        require("rejected" not in outcomes, "no spurious queue rejections")
+        first_fp = results[0]["job"]["fingerprint"]
+        first = poll_done(base, first_fp)
+        require(first["ok"], "first cell completed before the kill")
+    finally:
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait()
+    print(f"  SIGKILLed server pid={proc.pid} mid-campaign")
+
+    print("== campaign 2: restart, resume, finish ==")
+    proc, base = start_server(store_dir)
+    try:
+        results = post_jobs(base, specs)["results"]
+        outcomes = [r["outcome"] for r in results]
+        print(f"  outcomes: {outcomes}")
+        require(outcomes[0] == "cached",
+                "pre-kill result served from the store after restart")
+        views = {}
+        for result in results:
+            fingerprint = result["job"]["fingerprint"]
+            view = poll_done(base, fingerprint)
+            require(view["ok"], f"{view['benchmark']}/{view['arch']} finished")
+            views[(view["benchmark"], view["arch"])] = view
+
+        print("== campaign 3: full resubmit must be cache reads ==")
+        results = post_jobs(base, specs)["results"]
+        outcomes = [r["outcome"] for r in results]
+        print(f"  outcomes: {outcomes}")
+        cache_ratio = outcomes.count("cached") / len(outcomes)
+        require(cache_ratio >= 0.9,
+                f"resubmitted campaign is >=90% cache reads ({cache_ratio:.0%})")
+
+        print("== byte-identity vs the cold serial run ==")
+        for key, view in sorted(views.items()):
+            require(view["stats_sha256"] == truth[key],
+                    f"{key[0]}/{key[1]} digest identical to cold run")
+        with urllib.request.urlopen(base + "/v1/stats", timeout=30) as resp:
+            stats = json.loads(resp.read())
+        print(f"  server stats: {json.dumps(stats)}")
+        require(stats["store"]["corrupt"] == 0, "no entry quarantined")
+    finally:
+        proc.kill()
+        proc.wait()
+
+    print("PASS: serve smoke — coalesce, kill, resume, cache, byte-identity")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,20 +39,22 @@ def default_config(**overrides) -> GPUConfig:
 
 
 def _run_cells(runs, *, jobs=None, sweep_dir=None, resume=False,
-               wall_timeout=None, retries=1):
+               wall_timeout=None, retries=1, store=None):
     """Collect one experiment's simulation runs.
 
     ``runs`` maps an arbitrary hashable key to ``(bench, cfg, scale)``.
-    Serially (``jobs``/``sweep_dir`` unset) each run executes in-process
-    via :func:`run_benchmark`, raising on the first failure — the
-    historical strict behaviour.  With ``jobs`` or ``sweep_dir`` the whole
-    set goes through the subprocess orchestrator: isolated workers,
-    wall-clock deadlines, per-status retries, journal/resume.  A cell that
-    still fails terminally raises when the experiment reads its
-    ``.cycles``, so a half-broken sweep cannot silently produce a table
-    built on missing numbers.
+    Serially (``jobs``/``sweep_dir``/``store`` unset) each run executes
+    in-process via :func:`run_benchmark`, raising on the first failure —
+    the historical strict behaviour.  With any of them set the whole set
+    goes through the subprocess orchestrator: isolated workers, wall-clock
+    deadlines, per-status retries, journal/resume, and — with ``store`` —
+    the global content-addressed result cache, so re-generating a paper
+    artifact re-reads previously simulated cells instead of re-running
+    them.  A cell that still fails terminally raises when the experiment
+    reads its ``.cycles``, so a half-broken sweep cannot silently produce
+    a table built on missing numbers.
     """
-    if jobs is None and sweep_dir is None:
+    if jobs is None and sweep_dir is None and store is None:
         return {key: run_benchmark(bench, cfg, scale)
                 for key, (bench, cfg, scale) in runs.items()}
     from repro.analysis.orchestrator import SweepCell, run_sweep
@@ -60,7 +62,8 @@ def _run_cells(runs, *, jobs=None, sweep_dir=None, resume=False,
     cells = [SweepCell(bench.name, cfg, scale, key=key)
              for key, (bench, cfg, scale) in runs.items()]
     result = run_sweep(cells, jobs=jobs or 1, wall_timeout=wall_timeout,
-                       retries=retries, journal_dir=sweep_dir, resume=resume)
+                       retries=retries, journal_dir=sweep_dir, resume=resume,
+                       store=store)
     return result.records
 
 
@@ -164,11 +167,11 @@ def e3_cta_residency(cfg: GPUConfig | None = None):
 # ---------------------------------------------------------------------------
 
 def e4_idle_cycles(cfg: GPUConfig | None = None, scale: float = 1.0,
-                   jobs: int | None = None, sweep_dir=None):
+                   jobs: int | None = None, sweep_dir=None, store=None):
     """Motivation figure: fraction of SM cycles with zero issue, by cause."""
     cfg = (cfg or default_config()).with_(arch=ArchMode.BASELINE)
     records = _run_cells({b.name: (b, cfg, scale) for b in all_benchmarks()},
-                         jobs=jobs, sweep_dir=sweep_dir)
+                         jobs=jobs, sweep_dir=sweep_dir, store=store)
     rows = []
     data = {}
     for bench in all_benchmarks():
@@ -198,7 +201,7 @@ def e4_idle_cycles(cfg: GPUConfig | None = None, scale: float = 1.0,
 
 def e5_speedup(cfg: GPUConfig | None = None, scale: float = 1.0,
                benches=None, keep_going: bool = True,
-               jobs: int | None = None, sweep_dir=None):
+               jobs: int | None = None, sweep_dir=None, store=None):
     """The headline figure: per-benchmark IPC normalized to baseline.
 
     With ``keep_going`` (default) a failing (bench, arch) cell renders as
@@ -211,7 +214,7 @@ def e5_speedup(cfg: GPUConfig | None = None, scale: float = 1.0,
     base_cfg = cfg or default_config()
     benches = list(benches) if benches is not None else all_benchmarks()
     records = run_matrix(benches, ARCHS, base_cfg, scale, keep_going=keep_going,
-                         parallel=jobs, journal_dir=sweep_dir)
+                         parallel=jobs, journal_dir=sweep_dir, store=store)
     rows = []
     vt_speedups = {}
     ideal_speedups = {}
@@ -283,7 +286,7 @@ def e5_speedup(cfg: GPUConfig | None = None, scale: float = 1.0,
 # ---------------------------------------------------------------------------
 
 def e6_tlp(cfg: GPUConfig | None = None, scale: float = 1.0,
-           jobs: int | None = None, sweep_dir=None):
+           jobs: int | None = None, sweep_dir=None, store=None):
     """How much thread-level parallelism VT exposes to the SM."""
     base_cfg = cfg or default_config()
     runs = {}
@@ -292,7 +295,7 @@ def e6_tlp(cfg: GPUConfig | None = None, scale: float = 1.0,
             bench, base_cfg.with_(arch=ArchMode.BASELINE), scale)
         runs[(bench.name, ArchMode.VT)] = (
             bench, base_cfg.with_(arch=ArchMode.VT), scale)
-    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir)
+    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir, store=store)
     rows = []
     data = {}
     for bench in all_benchmarks():
@@ -329,7 +332,7 @@ SWAP_LATENCY_POINTS = ((0, 0), (2, 1), (8, 4), (32, 16), (128, 64))
 
 def e7_swap_latency(cfg: GPUConfig | None = None, scale: float = 1.0,
                     points=SWAP_LATENCY_POINTS, subset=SWEEP_SUBSET,
-                    jobs: int | None = None, sweep_dir=None):
+                    jobs: int | None = None, sweep_dir=None, store=None):
     """VT speedup as the swap save/restore cost scales.
 
     The paper's claim: because only scheduling state moves, swaps cost a
@@ -348,7 +351,7 @@ def e7_swap_latency(cfg: GPUConfig | None = None, scale: float = 1.0,
         )
         for b in benches:
             runs[((base_cost, per_warp), b.name)] = (b, vt_cfg, scale)
-    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir)
+    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir, store=store)
     baselines = {b.name: records[("base", b.name)].cycles for b in benches}
     rows = []
     data = {}
@@ -375,7 +378,7 @@ def e7_swap_latency(cfg: GPUConfig | None = None, scale: float = 1.0,
 
 def e8_vcta_degree(cfg: GPUConfig | None = None, scale: float = 1.0,
                    multipliers=(1.0, 1.5, 2.0, 3.0, 4.0), subset=SWEEP_SUBSET,
-                   jobs: int | None = None, sweep_dir=None):
+                   jobs: int | None = None, sweep_dir=None, store=None):
     """VT speedup as the resident-CTA provisioning grows (1x = no virtual
     CTAs, so VT must degenerate to baseline behaviour)."""
     base_cfg = cfg or default_config()
@@ -386,7 +389,7 @@ def e8_vcta_degree(cfg: GPUConfig | None = None, scale: float = 1.0,
         vt_cfg = base_cfg.with_(arch=ArchMode.VT, vt_max_resident_multiplier=mult)
         for b in benches:
             runs[(mult, b.name)] = (b, vt_cfg, scale)
-    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir)
+    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir, store=store)
     baselines = {b.name: records[("base", b.name)].cycles for b in benches}
     rows = []
     data = {}
@@ -412,7 +415,7 @@ def e8_vcta_degree(cfg: GPUConfig | None = None, scale: float = 1.0,
 
 def e9_schedulers(cfg: GPUConfig | None = None, scale: float = 1.0,
                   schedulers=("lrr", "gto", "two-level"), subset=SWEEP_SUBSET,
-                  jobs: int | None = None, sweep_dir=None):
+                  jobs: int | None = None, sweep_dir=None, store=None):
     """VT's gain under different warp-scheduling policies."""
     base_cfg = cfg or default_config()
     benches = [get(name) for name in subset]
@@ -423,7 +426,7 @@ def e9_schedulers(cfg: GPUConfig | None = None, scale: float = 1.0,
             for arch in (ArchMode.BASELINE, ArchMode.VT):
                 runs[(policy, bench.name, arch)] = (
                     bench, pol_cfg.with_(arch=arch), scale)
-    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir)
+    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir, store=store)
     rows = []
     data = {}
     for policy in schedulers:
@@ -449,7 +452,7 @@ def e9_schedulers(cfg: GPUConfig | None = None, scale: float = 1.0,
 
 def e10_mem_latency(cfg: GPUConfig | None = None, scale: float = 1.0,
                     latencies=(200, 400, 600, 800), subset=SWEEP_SUBSET,
-                    jobs: int | None = None, sweep_dir=None):
+                    jobs: int | None = None, sweep_dir=None, store=None):
     """VT's gain should grow with memory latency (more to hide)."""
     base_cfg = cfg or default_config()
     benches = [get(name) for name in subset]
@@ -460,7 +463,7 @@ def e10_mem_latency(cfg: GPUConfig | None = None, scale: float = 1.0,
             for arch in (ArchMode.BASELINE, ArchMode.VT):
                 runs[(latency, bench.name, arch)] = (
                     bench, lat_cfg.with_(arch=arch), scale)
-    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir)
+    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir, store=store)
     rows = []
     data = {}
     for latency in latencies:
@@ -520,7 +523,7 @@ def e11_overhead(cfg: GPUConfig | None = None, liveness: bool = False):
 # ---------------------------------------------------------------------------
 
 def e12_ablation(cfg: GPUConfig | None = None, scale: float = 1.0, subset=SWEEP_SUBSET,
-                 jobs: int | None = None, sweep_dir=None):
+                 jobs: int | None = None, sweep_dir=None, store=None):
     """Design-choice ablation for the swap trigger and victim selection."""
     base_cfg = cfg or default_config()
     benches = [get(name) for name in subset]
@@ -540,7 +543,7 @@ def e12_ablation(cfg: GPUConfig | None = None, scale: float = 1.0, subset=SWEEP_
         vt_cfg = base_cfg.with_(arch=ArchMode.VT, **overrides)
         for b in benches:
             runs[(label, b.name)] = (b, vt_cfg, scale)
-    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir)
+    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir, store=store)
     baselines = {b.name: records[("base", b.name)].cycles for b in benches}
     rows = []
     data = {}
@@ -567,7 +570,7 @@ def e12_ablation(cfg: GPUConfig | None = None, scale: float = 1.0, subset=SWEEP_
 # ---------------------------------------------------------------------------
 
 def x1_contention(cfg: GPUConfig | None = None, scale: float = 1.0, bench_name: str = "spmv",
-                  jobs: int | None = None, sweep_dir=None):
+                  jobs: int | None = None, sweep_dir=None, store=None):
     """Diagnose the one VT regression in E5 and evaluate a mitigation.
 
     spmv loses under VT because rotating the active set through more CTAs
@@ -590,7 +593,7 @@ def x1_contention(cfg: GPUConfig | None = None, scale: float = 1.0, bench_name: 
     ]
     records = _run_cells({label: (bench, variant_cfg, scale)
                           for label, variant_cfg in variants},
-                         jobs=jobs, sweep_dir=sweep_dir)
+                         jobs=jobs, sweep_dir=sweep_dir, store=store)
     rows = []
     data = {}
     base_cycles = None
@@ -620,7 +623,7 @@ def x1_contention(cfg: GPUConfig | None = None, scale: float = 1.0, bench_name: 
 # ---------------------------------------------------------------------------
 
 def x2_kepler(cfg: GPUConfig | None = None, scale: float = 2.0, subset=SWEEP_SUBSET,
-              jobs: int | None = None, sweep_dir=None):
+              jobs: int | None = None, sweep_dir=None, store=None):
     """VT gain on a Kepler-class SM (64 warps / 16 CTAs / 2x register file).
 
     Kepler relaxes Fermi's scheduling limits but also doubles capacity, so
@@ -638,7 +641,7 @@ def x2_kepler(cfg: GPUConfig | None = None, scale: float = 2.0, subset=SWEEP_SUB
     for bench in benches:
         for arch in (ArchMode.BASELINE, ArchMode.VT):
             runs[(bench.name, arch)] = (bench, kepler.with_(arch=arch), scale)
-    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir)
+    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir, store=store)
     from repro.core.occupancy import limiter_summary
 
     rows = []
@@ -671,7 +674,7 @@ def x2_kepler(cfg: GPUConfig | None = None, scale: float = 2.0, subset=SWEEP_SUB
 
 def x3_full_chip(cfg: GPUConfig | None = None, scale: float = 1.0,
                  subset=("stride", "streamcluster", "kmeans"),
-                 jobs: int | None = None, sweep_dir=None):
+                 jobs: int | None = None, sweep_dir=None, store=None):
     """VT speedups on the full 15-SM chip vs the scaled 2-SM default.
 
     The harness runs everything on a scaled-down chip for tractability;
@@ -692,7 +695,7 @@ def x3_full_chip(cfg: GPUConfig | None = None, scale: float = 1.0,
             for arch in (ArchMode.BASELINE, ArchMode.VT):
                 runs[(name, label, arch)] = (
                     bench, chip_cfg.with_(arch=arch), chip_scale)
-    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir)
+    records = _run_cells(runs, jobs=jobs, sweep_dir=sweep_dir, store=store)
     rows = []
     data = {}
     for name in subset:
@@ -719,7 +722,7 @@ def x3_full_chip(cfg: GPUConfig | None = None, scale: float = 1.0,
 
 def x4_prediction_table(cfg: GPUConfig | None = None, scale: float = 1.0,
                         keep_going: bool = True, jobs: int | None = None,
-                        sweep_dir=None):
+                        sweep_dir=None, store=None):
     """Predicted vs measured limiter / idle class / VT tier, all kernels.
 
     The model-vs-measurement discipline behind ``repro predict --check``:
@@ -743,7 +746,7 @@ def x4_prediction_table(cfg: GPUConfig | None = None, scale: float = 1.0,
         for p in predict_kernel(bench.kernel, cfg, archs=archs, layout=layout):
             preds[(bench.name, p.arch)] = p
     records = run_matrix(benches, archs, cfg, scale, keep_going=keep_going,
-                         parallel=jobs, journal_dir=sweep_dir)
+                         parallel=jobs, journal_dir=sweep_dir, store=store)
 
     rows = []
     cells = {}
@@ -815,7 +818,8 @@ def x4_prediction_table(cfg: GPUConfig | None = None, scale: float = 1.0,
 # ---------------------------------------------------------------------------
 
 def doctor_report(scale: float = 0.25, sms: int = 1, benches=None, archs=ARCHS,
-                  jobs: int | None = None, sweep_dir=None, fuzz_dir=None):
+                  jobs: int | None = None, sweep_dir=None, fuzz_dir=None,
+                  store=None):
     """Quick health sweep: every benchmark under every architecture with
     the per-cycle invariant sanitizer enabled, crash-tolerantly.
 
@@ -830,14 +834,29 @@ def doctor_report(scale: float = 0.25, sms: int = 1, benches=None, archs=ARCHS,
     fingerprint no longer matches their own spec/config — the same
     stale-fingerprint discipline ``repro fuzz --replay`` enforces —
     in ``data['reproducers']``.
+
+    With ``store`` (a result-store root or handle) the store is audited
+    *before* the sweep — every entry's checksum re-verified, corrupt
+    entries quarantined, orphaned temp files from crashed writers
+    collected — and the smoke sweep then reads/writes through it.  The
+    audit lands in ``data['store_report']`` and the report text; a store
+    that lost entries to quarantine in this audit makes the doctor exit
+    unhealthy (see ``StoreReport.healthy``).
     """
+    store_report = None
+    if store is not None:
+        from repro.store.cas import ResultStore
+
+        if not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        store_report = store.verify()
     cfg = scaled_fermi(num_sms=sms, sanitize=True)
     if benches is None:
         benches = all_benchmarks()
     else:
         benches = [get(name) if isinstance(name, str) else name for name in benches]
     records = run_matrix(benches, archs, cfg, scale, keep_going=True,
-                         parallel=jobs, journal_dir=sweep_dir)
+                         parallel=jobs, journal_dir=sweep_dir, store=store)
     rows = []
     failures = []
     for bench in benches:
@@ -862,6 +881,18 @@ def doctor_report(scale: float = 0.25, sms: int = 1, benches=None, archs=ARCHS,
         f"\nall {len(rows) * len(archs)} cells clean under the sanitizer"
     )
     data = {"records": records, "failures": failures}
+    if store_report is not None:
+        data["store_report"] = store_report
+        rep = store_report
+        verdict += (
+            f"\n\nresult store {store.root}: "
+            f"{rep.verified}/{rep.entries} entries verified, "
+            f"{len(rep.quarantined_now)} quarantined in this audit "
+            f"({rep.quarantined_before} previously), "
+            f"{rep.orphan_temps_removed} orphaned temp file(s) collected, "
+            f"{rep.artifacts} artifact(s), {rep.bytes} bytes")
+        for name in rep.quarantined_now:
+            verdict += f"\n  quarantined: {name}"
     if fuzz_dir is not None:
         from repro.fuzz.campaign import list_reproducers
 
@@ -896,14 +927,16 @@ def sweep_report(benches=None, archs=ARCHS, scale: float = 1.0, sms: int = 2,
                  *, jobs: int = 2, wall_timeout: float | None = None,
                  retries: int = 1, sweep_dir=None, resume: bool = False,
                  max_cycles: int | None = None, sanitize: bool = False,
-                 fast_forward: bool = True, progress=None):
+                 fast_forward: bool = True, progress=None, store=None):
     """The (benchmark x arch) matrix through the subprocess orchestrator.
 
     Returns ``(report, result)`` where ``result`` is the
     :class:`~repro.analysis.orchestrator.SweepResult` — the report is the
     final ok/retried/failed summary table with dump paths.  With
     ``sweep_dir`` the journal makes the sweep resumable after any crash
-    (``resume=True`` skips journaled cells).
+    (``resume=True`` skips journaled cells); with ``store`` completed
+    cells are read from / written to the global content-addressed result
+    store, so identical cells across *different* sweeps never re-simulate.
     """
     from repro.analysis.orchestrator import matrix_cells, run_sweep
 
@@ -916,7 +949,7 @@ def sweep_report(benches=None, archs=ARCHS, scale: float = 1.0, sms: int = 2,
     cells = matrix_cells(benches, archs, cfg, scale, max_cycles=max_cycles)
     result = run_sweep(cells, jobs=jobs, wall_timeout=wall_timeout,
                        retries=retries, journal_dir=sweep_dir, resume=resume,
-                       progress=progress)
+                       progress=progress, store=store)
     return result.summary_table(), result
 
 

@@ -19,7 +19,9 @@ Journal schema (one JSON object per line; see docs/ARCHITECTURE.md):
      "config": {…GPUConfig fields…}}
 
 The journal is *append-only* and each line is flushed + fsynced before the
-cell is considered done, so a SIGKILL at any point loses at most the cell
+cell is considered done — and the containing directory is fsynced when the
+file is first created, so a crash right after creation cannot lose the
+whole journal — meaning a SIGKILL at any point loses at most the cell
 that was in flight.  A corrupted or truncated line (the classic torn final
 line after a hard kill) is **quarantined**: it is copied to
 ``journal.jsonl.quarantine`` and skipped, never crashing a resume.
@@ -37,6 +39,7 @@ from pathlib import Path
 from repro.analysis.runner import RunRecord
 from repro.sim.config import GPUConfig
 from repro.sim.stats import SimStats
+from repro.store.fsio import fsync_dir
 
 SCHEMA_VERSION = 1
 
@@ -211,17 +214,31 @@ class Journal:
         if bad_lines:
             self.quarantined = len(bad_lines)
             quarantine = self.path.with_suffix(self.path.suffix + ".quarantine")
+            created = not quarantine.exists()
             with quarantine.open("a", encoding="utf-8") as handle:
                 for line in bad_lines:
                     handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            if created:
+                fsync_dir(quarantine.parent)
 
     def append(self, entry: JournalEntry) -> None:
-        """Durably append one completed cell (flush + fsync per line)."""
+        """Durably append one completed cell (flush + fsync per line).
+
+        On the append that *creates* the file, the containing directory is
+        fsynced too: fsyncing the file alone makes the bytes durable but
+        not the directory entry, so a crash right after creation could
+        lose the whole journal even though every line was fsynced.
+        """
         line = json.dumps(entry.to_json(), sort_keys=True)
+        created = not self.path.exists()
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+        if created:
+            fsync_dir(self.path.parent)
         self.entries[entry.fingerprint] = entry
 
     def lookup(self, fingerprint: str) -> JournalEntry | None:
@@ -235,4 +252,5 @@ class Journal:
         dumps.mkdir(exist_ok=True)
         path = dumps / f"{fingerprint}.txt"
         path.write_text(dump + "\n", encoding="utf-8")
+        fsync_dir(dumps)
         return str(path)

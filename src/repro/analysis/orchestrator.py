@@ -55,6 +55,10 @@ from repro.analysis.runner import RunRecord, run_benchmark_safe
 from repro.analysis.tables import format_table
 from repro.sim.config import GPUConfig
 
+# NOTE: repro.store.cas imports this package's journal module, so pulling
+# it in at module scope would be a circular import when the store package
+# loads first; run_sweep/to_summary import it lazily instead.
+
 #: Statuses the orchestrator adds on top of ``runner.STATUSES``.
 ORCHESTRATOR_STATUSES = ("wall-timeout", "worker-died")
 
@@ -124,8 +128,11 @@ class SweepResult:
     records: dict[tuple, RunRecord] = field(default_factory=dict)
     attempts: dict[tuple, int] = field(default_factory=dict)
     resumed: list[tuple] = field(default_factory=list)  # keys skipped via journal
+    cached: list[tuple] = field(default_factory=list)  # keys served by the store
+    fingerprints: dict[tuple, str] = field(default_factory=dict)
     dump_paths: dict[tuple, str] = field(default_factory=dict)
     journal_path: str | None = None
+    store_stats: dict | None = None  # ResultStore counters, when attached
     quarantined_lines: int = 0
     degraded_to_serial: bool = False
     final_pool_size: int = 0
@@ -144,6 +151,7 @@ class SweepResult:
             "failed": len(self.records) - ok,
             "retried": retried,
             "resumed": len(self.resumed),
+            "cached": len(self.cached),
         }
 
     def summary_table(self) -> str:
@@ -159,14 +167,16 @@ class SweepResult:
             marker = "*" if (attempts > 1 or record.retried) else ""
             cell = (f"ok{marker} ({record.cycles} cyc)" if record.ok
                     else record.failure)
-            note = "resumed" if key in self.resumed else ""
+            note = ("cached" if key in self.cached
+                    else "resumed" if key in self.resumed else "")
             rows.append(("/".join(str(part) for part in key), cell,
                          attempts, self.dump_paths.get(key, "") or note))
         counts = self.counts()
         table = format_table(
             ("cell", "result", "attempts", "dump / note"), rows,
             title=f"sweep summary - {counts['ok']}/{counts['total']} ok "
-                  f"({counts['retried']} retried, {counts['resumed']} resumed)",
+                  f"({counts['retried']} retried, {counts['resumed']} resumed, "
+                  f"{counts['cached']} cached)",
         )
         notes = []
         if any(self.attempts.get(k, 1) > 1 or r.retried
@@ -178,9 +188,55 @@ class SweepResult:
         if self.quarantined_lines:
             notes.append(f"{self.quarantined_lines} corrupted journal line(s) "
                          f"quarantined at resume")
+        if self.cached:
+            notes.append(f"{len(self.cached)} cell(s) served from the result "
+                         f"store without re-simulating")
         if self.journal_path:
             notes.append(f"journal: {self.journal_path}")
         return table + ("\n" + "\n".join(notes) if notes else "")
+
+    def to_summary(self) -> dict:
+        """Machine-readable sweep summary (``repro sweep --format json``).
+
+        Mirrors the lint/predict JSON discipline: external callers (the CI
+        serve smoke job in particular) assert on structured results instead
+        of scraping the summary table.  Per-cell ``stats_sha256`` is the
+        byte-identity witness; the full stats dict rides along so byte
+        comparisons need no second run.
+        """
+        from repro.store.cas import stats_digest
+
+        cells = []
+        for key in sorted(self.records, key=str):
+            record = self.records[key]
+            stats = record.stats.to_dict() if record.stats is not None else None
+            cells.append({
+                "key": [str(part) for part in key],
+                "benchmark": record.benchmark,
+                "arch": record.arch,
+                "fingerprint": self.fingerprints.get(key),
+                "status": record.status,
+                "ok": record.ok,
+                "attempts": self.attempts.get(key, 1),
+                "retried": record.retried,
+                "resumed": key in self.resumed,
+                "cached": key in self.cached,
+                "cycles": record.stats.cycles if record.ok else None,
+                "error": record.error,
+                "dump_path": self.dump_paths.get(key),
+                "stats_sha256": stats_digest(stats),
+                "stats": stats,
+            })
+        return {
+            "v": 1,
+            "ok": self.ok,
+            "counts": self.counts(),
+            "journal": self.journal_path,
+            "store": self.store_stats,
+            "quarantined_lines": self.quarantined_lines,
+            "degraded_to_serial": self.degraded_to_serial,
+            "cells": cells,
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -310,7 +366,7 @@ def _failed_record(cell: SweepCell, status: str, message: str) -> RunRecord:
 
 def run_sweep(cells, *, jobs: int = 1, wall_timeout: float | None = None,
               retries: int = 1, journal_dir=None, resume: bool = False,
-              backoff_base: float = 0.5, backoff_cap: float = 30.0,
+              store=None, backoff_base: float = 0.5, backoff_cap: float = 30.0,
               seed: int = 0, progress=None) -> SweepResult:
     """Run every cell, each in its own worker subprocess; never raises for
     a cell-level failure.
@@ -323,6 +379,14 @@ def run_sweep(cells, *, jobs: int = 1, wall_timeout: float | None = None,
     :data:`RETRY_POLICY`.  With ``journal_dir`` every completed cell is
     journaled; adding ``resume`` skips cells already present (matched by
     fingerprint) and quarantines corrupted lines.
+
+    ``store`` (a :class:`~repro.store.cas.ResultStore` or its root path)
+    attaches the global content-addressed cache: cells whose fingerprint
+    has a verified entry are served from it without simulating (tracked in
+    ``SweepResult.cached``), every freshly computed ``ok`` cell is
+    committed back crash-safely, and each computed cell emits an
+    ``artifacts/<fp>.json`` audit record.  The per-sweep journal and the
+    global store compose — journal resume stays sweep-local.
 
     Duplicate fingerprints in ``cells`` are an error: the journal could
     not tell their results apart.
@@ -337,6 +401,11 @@ def run_sweep(cells, *, jobs: int = 1, wall_timeout: float | None = None,
                 f"same fingerprint (same benchmark, config, scale, and seed)")
 
     journal = Journal.open(journal_dir, resume=resume) if journal_dir else None
+    if store is not None:
+        from repro.store.cas import ResultStore
+
+        if not isinstance(store, ResultStore):
+            store = ResultStore(store)
     rng = random.Random(seed)
     result = SweepResult(journal_path=str(journal.path) if journal else None,
                          quarantined_lines=journal.quarantined if journal else 0)
@@ -345,9 +414,11 @@ def run_sweep(cells, *, jobs: int = 1, wall_timeout: float | None = None,
         if progress:
             progress(message)
 
-    # -- resume: skip cells whose fingerprint is already journaled --------
+    # -- resume: skip cells already journaled (sweep-local) or with a
+    # verified entry in the global result store ---------------------------
     todo: list[_Job] = []
     for cell in cells:
+        result.fingerprints[cell.key] = cell.fingerprint
         entry = journal.lookup(cell.fingerprint) if journal else None
         if entry is not None:
             result.records[cell.key] = entry.record
@@ -356,11 +427,23 @@ def run_sweep(cells, *, jobs: int = 1, wall_timeout: float | None = None,
             if entry.dump_path:
                 result.dump_paths[cell.key] = entry.dump_path
             continue
+        cached = store.get(cell.fingerprint) if store is not None else None
+        if cached is not None:
+            result.records[cell.key] = cached.record
+            result.attempts[cell.key] = cached.attempts
+            result.cached.append(cell.key)
+            if journal:  # make the sweep dir self-contained for resume
+                journal.append(JournalEntry(
+                    fingerprint=cell.fingerprint, record=cached.record,
+                    attempts=cached.attempts, elapsed_s=cached.elapsed_s,
+                    scale=cell.scale, seed=cell.workload_seed))
+            continue
         todo.append(_Job(cell=cell, max_cycles=cell.max_cycles,
                          wall_budget=wall_timeout))
-    if result.resumed:
+    if result.resumed or result.cached:
         note(f"resume: {len(result.resumed)}/{len(cells)} cells already "
-             f"journaled, {len(todo)} to run")
+             f"journaled, {len(result.cached)} served from the store, "
+             f"{len(todo)} to run")
 
     def finalize(job: _Job, record: RunRecord) -> None:
         key = job.cell.key
@@ -376,6 +459,20 @@ def run_sweep(cells, *, jobs: int = 1, wall_timeout: float | None = None,
                 dump_path=dump_path))
         if dump_path:
             result.dump_paths[key] = dump_path
+        if store is not None and record.ok:
+            from repro.store.cas import build_artifact
+
+            finished = time.time()
+            path = store.put(
+                job.cell.fingerprint, record, scale=job.cell.scale,
+                seed=job.cell.workload_seed, attempts=job.attempt,
+                elapsed_s=job.elapsed)
+            store.write_artifact(job.cell.fingerprint, build_artifact(
+                job.cell.fingerprint, record, scale=job.cell.scale,
+                seed=job.cell.workload_seed, attempts=job.attempt,
+                elapsed_s=job.elapsed, source="computed",
+                started_at=finished - job.elapsed, finished_at=finished,
+                store_path=str(path) if path else None))
 
     def run_serial(job: _Job) -> None:
         """The degraded / ``jobs=0`` path: in-process, no isolation."""
@@ -398,7 +495,7 @@ def run_sweep(cells, *, jobs: int = 1, wall_timeout: float | None = None,
         record = run_benchmark_safe(
             bench, job.cell.cfg, job.cell.scale, job.cell.check,
             max_cycles=job.max_cycles, faults=job.cell.faults,
-            retry_timeouts=retries > 0)
+            retry_timeouts=retries > 0, wall_budget=wall_timeout)
         if record.retried:
             job.attempt += 1
         finalize(job, record)
@@ -407,6 +504,8 @@ def run_sweep(cells, *, jobs: int = 1, wall_timeout: float | None = None,
         for job in todo:
             run_serial(job)
         result.final_pool_size = 0
+        if store is not None:
+            result.store_stats = store.stats.to_dict()
         return result
 
     # -- the process pool -------------------------------------------------
@@ -524,6 +623,8 @@ def run_sweep(cells, *, jobs: int = 1, wall_timeout: float | None = None,
         raise
 
     result.final_pool_size = pool_size
+    if store is not None:
+        result.store_stats = store.stats.to_dict()
     return result
 
 

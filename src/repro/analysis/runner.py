@@ -19,6 +19,7 @@ Two failure disciplines coexist:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.kernels.base import Benchmark, CheckFailure
@@ -102,7 +103,8 @@ def _classify(exc: Exception) -> str:
 
 def run_benchmark_safe(bench: Benchmark, cfg: GPUConfig, scale: float = 1.0,
                        check: bool = True, *, max_cycles: int | None = None,
-                       faults=None, retry_timeouts: bool = True) -> RunRecord:
+                       faults=None, retry_timeouts: bool = True,
+                       wall_budget: float | None = None) -> RunRecord:
     """Like :func:`run_benchmark`, but never raises: failures come back as
     a :class:`RunRecord` with ``status``/``error`` (and ``dump`` for hangs).
 
@@ -110,6 +112,14 @@ def run_benchmark_safe(bench: Benchmark, cfg: GPUConfig, scale: float = 1.0,
     for this (bench, arch) pair, so it is retried once with a doubled
     budget.  A ``ProgressDeadlock`` is *not* retried: zero forward progress
     does not improve with more cycles.
+
+    ``wall_budget`` bounds both attempts *together* in wall-clock seconds.
+    Simulated time scales ~linearly with wall time, so the retry's cycle
+    budget is clamped to what the remaining budget can actually afford; a
+    retry that could not even re-simulate the first attempt's cycles is
+    skipped (and a clamped retry that still times out is reported) as
+    ``wall-timeout`` — an unbounded 2x retry overshooting the deadline
+    used to surface as a misleading second ``timeout``.
     """
     def attempt(budget: int | None) -> RunRecord:
         try:
@@ -123,11 +133,32 @@ def run_benchmark_safe(bench: Benchmark, cfg: GPUConfig, scale: float = 1.0,
                 dump=getattr(exc, "dump", None),
             )
 
+    start = time.monotonic()
     record = attempt(max_cycles)
     if retry_timeouts and record.status == "timeout":
-        budget = 2 * (max_cycles if max_cycles is not None else cfg.max_cycles)
+        first_budget = max_cycles if max_cycles is not None else cfg.max_cycles
+        budget = 2 * first_budget
+        clamped = False
+        if wall_budget is not None:
+            elapsed = max(time.monotonic() - start, 1e-9)
+            remaining = wall_budget - elapsed
+            affordable = int(first_budget * remaining / elapsed)
+            if affordable <= first_budget:
+                record.status = "wall-timeout"
+                record.error = (
+                    f"timeout at {first_budget} cycles; retry skipped: "
+                    f"{remaining:.1f}s of the {wall_budget:g}s wall budget "
+                    f"left cannot fit the first attempt again")
+                return record
+            if affordable < budget:
+                budget, clamped = affordable, True
         record = attempt(budget)
         record.retried = True
+        if clamped and record.status == "timeout":
+            record.status = "wall-timeout"
+            record.error = (
+                f"retry budget clamped to {budget} cycles by the "
+                f"{wall_budget:g}s wall budget and still timed out: {record.error}")
     return record
 
 
@@ -137,6 +168,7 @@ def run_matrix(benches, archs, base_cfg: GPUConfig, scale: float = 1.0,
                run_timeout_cycles: int | None = None,
                parallel: int | None = None,
                journal_dir=None, resume: bool = False,
+               store=None,
                wall_timeout: float | None = None,
                retries: int = 1) -> dict[tuple[str, str], RunRecord]:
     """Run every (benchmark, arch) pair; returns {(bench, arch): record}.
@@ -147,22 +179,25 @@ def run_matrix(benches, archs, base_cfg: GPUConfig, scale: float = 1.0,
     raises, matching the historical strict behaviour.
     ``run_timeout_cycles`` bounds each individual run's cycle budget.
 
-    ``parallel`` / ``journal_dir`` switch the sweep onto the subprocess
-    orchestrator (:func:`repro.analysis.orchestrator.run_sweep`):
+    ``parallel`` / ``journal_dir`` / ``store`` switch the sweep onto the
+    subprocess orchestrator (:func:`repro.analysis.orchestrator.run_sweep`):
     ``parallel`` workers each run one cell in an isolated process under a
-    ``wall_timeout``-second deadline, and with ``journal_dir`` completed
-    cells are checkpointed so ``resume=True`` skips them after a crash.
-    The orchestrator is inherently keep-going; benchmarks must come from
-    the registry (workers re-resolve them by name).
+    ``wall_timeout``-second deadline, with ``journal_dir`` completed
+    cells are checkpointed so ``resume=True`` skips them after a crash,
+    and with ``store`` (a result-store root or handle) every cell reads
+    through the global content-addressed cache and writes back on
+    completion.  The orchestrator is inherently keep-going; benchmarks
+    must come from the registry (workers re-resolve them by name).
     """
-    if parallel is not None or journal_dir is not None:
+    if parallel is not None or journal_dir is not None or store is not None:
         from repro.analysis.orchestrator import matrix_cells, run_sweep
 
         cells = matrix_cells(benches, archs, base_cfg, scale, check,
                              max_cycles=run_timeout_cycles)
         result = run_sweep(cells, jobs=1 if parallel is None else parallel,
                            wall_timeout=wall_timeout, retries=retries,
-                           journal_dir=journal_dir, resume=resume)
+                           journal_dir=journal_dir, resume=resume,
+                           store=store)
         return result.records
 
     records: dict[tuple[str, str], RunRecord] = {}

@@ -8,8 +8,14 @@ Commands:
 * ``experiment ID`` — regenerate a paper artifact (E1..E12, X1..X3).
 * ``sweep`` — the (benchmark x arch) matrix through the process-isolated
   orchestrator: parallel workers, wall-clock kill, retries, and a
-  journal that makes the sweep resumable (``--resume DIR``).
-* ``doctor`` — sanitizer-on smoke sweep over the whole suite.
+  journal that makes the sweep resumable (``--resume DIR``); ``--store``
+  adds the cross-sweep content-addressed result cache and ``--format
+  json`` a machine-readable summary.
+* ``serve`` — HTTP job service over the result store: submit/poll/stream
+  simulation jobs with request dedupe, bounded-queue backpressure (429),
+  and crash-safe caching.
+* ``doctor`` — sanitizer-on smoke sweep over the whole suite; ``--store``
+  audits a result store (verify checksums, quarantine, GC) first.
 * ``occupancy BENCH`` — the occupancy calculator's view of a kernel.
 * ``disasm BENCH`` — disassemble a benchmark kernel.
 * ``profile BENCH`` — static instruction-mix / control-flow profile.
@@ -134,6 +140,10 @@ def cmd_experiment(args) -> int:
     # process-isolated sweep orchestrator (static tables have no runs).
     if "jobs" in params and args.jobs is not None:
         kwargs["jobs"] = args.jobs
+    # --store reads/writes the experiment's cells through the global
+    # content-addressed result store (repeat runs stop re-simulating).
+    if "store" in params and args.store is not None:
+        kwargs["store"] = args.store
     if "liveness" in params and args.liveness:
         kwargs["liveness"] = True
     report, _data = fn(**kwargs)
@@ -142,6 +152,8 @@ def cmd_experiment(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    import json
+
     from repro.analysis.experiments import sweep_report
 
     if args.resume and args.dir and args.resume != args.dir:
@@ -150,8 +162,11 @@ def cmd_sweep(args) -> int:
     sweep_dir = args.resume or args.dir
     if sweep_dir is None:
         sweep_dir = tempfile.mkdtemp(prefix="repro-sweep-")
+    # In JSON mode stdout carries only the summary document.
+    info = sys.stderr if args.format == "json" else sys.stdout
     print(f"sweep directory: {sweep_dir} "
-          f"(resume an interrupted sweep with: repro sweep --resume {sweep_dir} …)")
+          f"(resume an interrupted sweep with: repro sweep --resume {sweep_dir} …)",
+          file=info)
     try:
         report, result = sweep_report(
             benches=args.benchmarks or None,
@@ -162,23 +177,29 @@ def cmd_sweep(args) -> int:
             max_cycles=args.max_cycles, sanitize=args.sanitize,
             fast_forward=not args.no_fast_forward,
             progress=lambda message: print(f"  {message}", file=sys.stderr),
+            store=args.store,
         )
     except KeyboardInterrupt:
         print(f"\ninterrupted; completed cells are journaled — resume with:\n"
               f"  repro sweep --resume {sweep_dir} …", file=sys.stderr)
         return 130
-    print(report)
+    if args.format == "json":
+        print(json.dumps(result.to_summary(), indent=2))
+    else:
+        print(report)
     return 0 if result.ok else 1
 
 
 def cmd_doctor(args) -> int:
     report, data = doctor_report(scale=args.scale, sms=args.sms,
                                  benches=args.benchmarks or None,
-                                 fuzz_dir=args.fuzz_dir)
+                                 fuzz_dir=args.fuzz_dir, store=args.store)
     print(report)
     stale = any(entry.get("stale") or "error" in entry
                 for entry in data.get("reproducers", []))
-    return 1 if (data["failures"] or stale) else 0
+    store_sick = ("store_report" in data
+                  and not data["store_report"].healthy)
+    return 1 if (data["failures"] or stale or store_sick) else 0
 
 
 def cmd_fuzz(args) -> int:
@@ -287,6 +308,14 @@ def cmd_fuzz(args) -> int:
     print(f"\nOK: {stats['ok']}/{stats['cases']} cases clean across "
           f"engines, architectures, and the sanitizer")
     return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.serve.http import serve_forever
+
+    return serve_forever(args.dir, port=args.port, jobs=args.jobs,
+                         queue_limit=args.queue_limit,
+                         wall_timeout=args.wall_timeout, retries=args.retries)
 
 
 def cmd_occupancy(args) -> int:
@@ -485,6 +514,9 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("--jobs", type=positive_int, default=None,
                        help="run the experiment's simulations through the "
                             "process-isolated orchestrator with N workers")
+    exp_p.add_argument("--store", metavar="DIR", default=None,
+                       help="read/write simulation cells through the "
+                            "content-addressed result store at DIR")
     exp_p.add_argument("--liveness", action="store_true",
                        help="E11 only: add the liveness-compressed register "
                             "swap-footprint table (default tables unchanged)")
@@ -520,6 +552,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--no-fast-forward", action="store_true",
                          help="force the per-cycle reference engine for every "
                               "cell (slower; statistics are identical)")
+    sweep_p.add_argument("--store", metavar="DIR", default=None,
+                         help="read/write cells through the content-addressed "
+                              "result store at DIR (cross-sweep cache)")
+    sweep_p.add_argument("--format", choices=("table", "json"), default="table",
+                         help="machine-readable JSON summary on stdout "
+                              "(progress and the directory line move to stderr)")
     sweep_p.set_defaults(fn=cmd_sweep)
 
     doc_p = sub.add_parser(
@@ -532,6 +570,12 @@ def build_parser() -> argparse.ArgumentParser:
     doc_p.add_argument("--fuzz-dir", metavar="DIR", default=None,
                        help="also list fuzz reproducer dumps under DIR "
                             "(stale or unreadable dumps fail the doctor)")
+    doc_p.add_argument("--store", metavar="DIR", default=None,
+                       help="audit the result store at DIR first — verify "
+                            "every entry's checksum, quarantine corruption, "
+                            "collect orphan temp files — then run the smoke "
+                            "sweep through it (new corruption fails the "
+                            "doctor)")
     doc_p.set_defaults(fn=cmd_doctor)
 
     fuzz_p = sub.add_parser(
@@ -577,6 +621,30 @@ def build_parser() -> argparse.ArgumentParser:
                              "divergence reproduces, 0 if clean, 2 if the "
                              "dump is stale")
     fuzz_p.set_defaults(fn=cmd_fuzz)
+
+    serve_p = sub.add_parser(
+        "serve", help="HTTP job service over the content-addressed result "
+                      "store: submit/poll/stream simulation jobs with "
+                      "dedupe, bounded-queue backpressure, and crash-safe "
+                      "caching")
+    serve_p.add_argument("--dir", required=True, metavar="DIR",
+                         help="result-store root (created if missing); the "
+                              "server's only persistent state")
+    serve_p.add_argument("--port", type=nonneg_int, default=0,
+                         help="listen port on 127.0.0.1 (default 0 = pick an "
+                              "ephemeral port and print it)")
+    serve_p.add_argument("--jobs", type=nonneg_int, default=2,
+                         help="orchestrator worker subprocesses per batch "
+                              "(default 2; 0 = in-process serial)")
+    serve_p.add_argument("--queue-limit", type=positive_int, default=16,
+                         help="bounded-queue capacity; submissions beyond it "
+                              "get HTTP 429 (default 16)")
+    serve_p.add_argument("--wall-timeout", type=positive_float, default=None,
+                         metavar="SECONDS",
+                         help="kill any cell exceeding this wall-clock budget")
+    serve_p.add_argument("--retries", type=nonneg_int, default=1,
+                         help="extra attempts for retryable failures (default 1)")
+    serve_p.set_defaults(fn=cmd_serve)
 
     occ_p = sub.add_parser("occupancy", help="occupancy analysis of a kernel")
     add_sim_args(occ_p, with_arch=False)

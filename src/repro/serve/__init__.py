@@ -1,0 +1,8 @@
+"""Fault-tolerant simulation job service (``repro serve``).
+
+:mod:`repro.serve.service` is the transport-free core: a bounded,
+deduplicating job queue dispatched into the subprocess sweep orchestrator
+with the content-addressed result store underneath.  :mod:`repro.serve.http`
+wraps it in a stdlib-only HTTP server.  Nothing here imports eagerly so
+embedding one half never drags in the other.
+"""

@@ -1,0 +1,183 @@
+"""Stdlib-only HTTP front end for :class:`repro.serve.service.JobService`.
+
+Endpoints (all JSON):
+
+* ``POST /v1/jobs`` — submit a batch: ``{"jobs": [spec, ...]}`` (or one
+  bare spec).  Response lists one ``{outcome, job}`` per spec in order.
+  If *any* spec was refused by admission control the status is **429**
+  with a ``Retry-After`` header — the client backs off and resubmits;
+  accepted specs in the same batch are still queued (resubmitting them
+  is free: they coalesce or hit the cache).
+* ``GET /v1/jobs/<fingerprint>`` — poll one job.  A restarted server
+  answers for its dead predecessor's completed jobs straight from the
+  result store.  Unknown fingerprints are 404.
+* ``GET /v1/jobs/<fingerprint>/stream`` — long-poll until the job is
+  done (newline-delimited JSON snapshots, final state last).
+* ``GET /v1/healthz`` — liveness (200 while the process serves).
+* ``GET /v1/readyz`` — readiness: 200 when the dispatcher is accepting
+  work, 503 otherwise (load balancers drain on this).
+* ``GET /v1/stats`` — queue depth, dedupe/backpressure counters, store
+  hit/miss/corrupt counters.
+
+The server binds ``127.0.0.1`` only: this is a lab-bench job runner, not
+an internet service.  ``port=0`` binds an ephemeral port and prints the
+chosen one — how tests and the CI smoke script avoid port collisions.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.service import BadRequest, JobService, QueueFull
+
+STREAM_TIMEOUT_S = 60.0
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> JobService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, *_args) -> None:  # silence per-request stderr spam
+        pass
+
+    def _send_json(self, status: int, payload, headers: dict | None = None) -> None:
+        body = (json.dumps(payload, indent=2) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return None
+        return json.loads(raw)
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.rstrip("/")
+        if path == "/v1/healthz":
+            self._send_json(200, {"ok": True})
+            return
+        if path == "/v1/readyz":
+            if self.service.ready():
+                self._send_json(200, {"ready": True})
+            else:
+                self._send_json(503, {"ready": False})
+            return
+        if path == "/v1/stats":
+            self._send_json(200, self.service.stats())
+            return
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            if rest.endswith("/stream"):
+                self._stream(rest[:-len("/stream")])
+                return
+            view = self.service.job_view(rest)
+            if view is None:
+                self._send_json(404, {"error": f"unknown job {rest!r}"})
+            else:
+                self._send_json(200, view)
+            return
+        self._send_json(404, {"error": f"no route for {self.path!r}"})
+
+    def _stream(self, fingerprint: str) -> None:
+        """Newline-delimited JSON until the job completes (or timeout)."""
+        view = self.service.job_view(fingerprint)
+        if view is None:
+            self._send_json(404, {"error": f"unknown job {fingerprint!r}"})
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Cache-Control", "no-store")
+        # Chunked framing is overkill for a lab tool; close delimits.
+        self.send_header("Connection", "close")
+        self.end_headers()
+        deadline = time.monotonic() + STREAM_TIMEOUT_S
+        last_state = None
+        while True:
+            if view["state"] != last_state:
+                last_state = view["state"]
+                self.wfile.write(json.dumps(view).encode() + b"\n")
+                self.wfile.flush()
+            if view["state"] == "done" or time.monotonic() >= deadline:
+                self.close_connection = True
+                return
+            time.sleep(0.05)
+            view = self.service.job_view(fingerprint) or view
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path.rstrip("/") != "/v1/jobs":
+            self._send_json(404, {"error": f"no route for {self.path!r}"})
+            return
+        try:
+            body = self._read_body()
+        except ValueError:
+            self._send_json(400, {"error": "request body is not valid JSON"})
+            return
+        if body is None:
+            self._send_json(400, {"error": "empty request body"})
+            return
+        specs = body.get("jobs") if isinstance(body, dict) and "jobs" in body else [body]
+        if not isinstance(specs, list) or not specs:
+            self._send_json(400, {"error": "'jobs' must be a non-empty list"})
+            return
+        results = []
+        any_rejected = False
+        for spec in specs:
+            try:
+                outcome, view = self.service.submit(spec)
+                results.append({"outcome": outcome, "job": view})
+            except BadRequest as exc:
+                self._send_json(400, {"error": str(exc)})
+                return
+            except QueueFull as exc:
+                any_rejected = True
+                results.append({"outcome": "rejected", "error": str(exc)})
+        if any_rejected:
+            self._send_json(429, {"results": results},
+                            headers={"Retry-After": "1"})
+        else:
+            self._send_json(200, {"results": results})
+
+
+def make_server(service: JobService, port: int = 0,
+                host: str = "127.0.0.1") -> ThreadingHTTPServer:
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    return server
+
+
+def serve_forever(store_dir, *, port: int = 0, jobs: int = 2,
+                  queue_limit: int = 16, wall_timeout: float | None = None,
+                  retries: int = 1) -> int:
+    """Run the service until interrupted (the ``repro serve`` entry)."""
+    service = JobService(store_dir, jobs=jobs, queue_limit=queue_limit,
+                         wall_timeout=wall_timeout, retries=retries)
+    server = make_server(service, port=port)
+    bound = server.server_address[1]
+    # Parsed by scripts (the CI smoke test): keep this line first & flushed.
+    print(f"repro-serve listening on http://127.0.0.1:{bound} "
+          f"store={store_dir}", flush=True)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.shutdown()
+    return 0

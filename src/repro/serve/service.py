@@ -1,0 +1,368 @@
+"""The job service behind ``repro serve`` — transport-free core.
+
+A :class:`JobService` accepts simulation *requests* (benchmark + full
+configuration knobs), keys each by its deterministic cell fingerprint
+(:func:`repro.analysis.journal.cell_fingerprint`), and resolves it through
+three layers, cheapest first:
+
+1. **store** — a verified entry in the content-addressed result store is
+   served immediately (``cached``); nothing runs.
+2. **coalescing** — a request whose fingerprint is already queued or
+   running attaches to the in-flight job (``coalesced``); identical
+   concurrent submissions cost one simulation, total.
+3. **queue** — otherwise the request joins a *bounded* queue
+   (``queued``).  A full queue refuses admission with :class:`QueueFull`
+   (HTTP 429 upstream) instead of buffering without bound: backpressure
+   is explicit, and a melting-down client cannot OOM the server.
+
+A single dispatcher thread drains the queue in batches into
+:func:`repro.analysis.orchestrator.run_sweep` with the store attached, so
+every queued job inherits the orchestrator's whole robustness stack —
+worker-process isolation, per-status retries with backoff, wall-clock
+deadlines, pool degradation — and every completed ``ok`` cell is committed
+crash-safely with an ``artifacts/<fp>.json`` audit record.  A SIGKILL of
+the server loses only in-flight cells: completed ones are already durable,
+so a restarted server answers their resubmission from the store.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.journal import config_to_dict
+from repro.analysis.orchestrator import SweepCell, run_sweep
+from repro.sim.config import ArchMode, scaled_fermi
+from repro.store.cas import ResultStore, StoreEntry, build_artifact, stats_digest
+
+#: Submission outcomes, cheapest to most expensive.
+OUTCOMES = ("cached", "coalesced", "queued", "rejected")
+
+#: Job lifecycle states.
+STATES = ("queued", "running", "done")
+
+
+class QueueFull(Exception):
+    """Admission refused: the bounded queue is at capacity (HTTP 429)."""
+
+
+class BadRequest(Exception):
+    """The request is malformed (unknown benchmark, bad knob value)."""
+
+
+def parse_request(spec: dict) -> SweepCell:
+    """Validate one request dict into a :class:`SweepCell`.
+
+    Recognized keys: ``benchmark`` (required), ``arch``, ``scale``,
+    ``sms``, ``seed``, ``max_cycles``, ``sanitize``, plus any other
+    :class:`GPUConfig` field name as an override.  Unknown keys are an
+    error — a typo must not silently fingerprint a different cell.
+    """
+    if not isinstance(spec, dict):
+        raise BadRequest(f"job spec must be an object, got {type(spec).__name__}")
+    spec = dict(spec)
+    try:
+        benchmark = spec.pop("benchmark")
+    except KeyError:
+        raise BadRequest("job spec is missing 'benchmark'") from None
+    from repro.kernels.registry import get
+
+    try:
+        get(benchmark)
+    except KeyError as exc:
+        raise BadRequest(str(exc.args[0])) from None
+    arch = spec.pop("arch", ArchMode.BASELINE)
+    if arch not in ArchMode.ALL:
+        raise BadRequest(f"unknown arch {arch!r}; choose from {ArchMode.ALL}")
+    try:
+        scale = float(spec.pop("scale", 1.0))
+        sms = int(spec.pop("sms", 2))
+        seed = int(spec.pop("seed", 0))
+        max_cycles = spec.pop("max_cycles", None)
+        if max_cycles is not None:
+            max_cycles = int(max_cycles)
+    except (TypeError, ValueError) as exc:
+        raise BadRequest(f"bad numeric field: {exc}") from None
+    if scale <= 0 or sms < 1:
+        raise BadRequest("scale must be > 0 and sms >= 1")
+    cfg = scaled_fermi(num_sms=sms, arch=arch)
+    known = set(config_to_dict(cfg))
+    unknown = set(spec) - known
+    if unknown:
+        raise BadRequest(f"unknown job spec field(s): {sorted(unknown)}")
+    if spec:
+        try:
+            cfg = cfg.with_(**spec)
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"bad config override: {exc}") from None
+    return SweepCell(benchmark, cfg, scale, max_cycles=max_cycles,
+                     workload_seed=seed)
+
+
+@dataclass
+class Job:
+    """One fingerprint's lifecycle through the service."""
+
+    fingerprint: str
+    cell: SweepCell
+    state: str = "queued"
+    source: str | None = None  # "cache" | "computed" once done
+    record: object | None = None  # RunRecord once done
+    attempts: int = 0
+    waiters: int = 1  # submissions answered by this job (1 = no coalescing)
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    def view(self) -> dict:
+        """JSON-safe snapshot for the HTTP layer."""
+        record = self.record
+        stats = (record.stats.to_dict()
+                 if record is not None and record.stats is not None else None)
+        return {
+            "fingerprint": self.fingerprint,
+            "benchmark": self.cell.benchmark,
+            "arch": self.cell.cfg.arch,
+            "scale": self.cell.scale,
+            "seed": self.cell.workload_seed,
+            "state": self.state,
+            "source": self.source,
+            "waiters": self.waiters,
+            "attempts": self.attempts,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "status": record.status if record is not None else None,
+            "ok": bool(record.ok) if record is not None else None,
+            "error": record.error if record is not None else None,
+            "cycles": record.stats.cycles if stats else None,
+            "stats_sha256": stats_digest(stats),
+            "stats": stats,
+        }
+
+
+def _entry_view(entry: StoreEntry) -> dict:
+    """A done-job view synthesized straight from a store entry — how a
+    restarted server answers polls for jobs a dead server completed."""
+    stats = (entry.record.stats.to_dict()
+             if entry.record.stats is not None else None)
+    return {
+        "fingerprint": entry.fingerprint,
+        "benchmark": entry.record.benchmark,
+        "arch": entry.record.arch,
+        "scale": entry.scale,
+        "seed": entry.seed,
+        "state": "done",
+        "source": "cache",
+        "waiters": 0,
+        "attempts": entry.attempts,
+        "submitted_at": None,
+        "started_at": None,
+        "finished_at": entry.created_at,
+        "status": entry.record.status,
+        "ok": True,
+        "error": None,
+        "cycles": entry.record.stats.cycles if stats else None,
+        "stats_sha256": stats_digest(stats),
+        "stats": stats,
+    }
+
+
+class JobService:
+    """Bounded, deduplicating, store-backed simulation job service."""
+
+    def __init__(self, store_dir, *, jobs: int = 2, queue_limit: int = 16,
+                 wall_timeout: float | None = None, retries: int = 1,
+                 batch_linger: float = 0.05):
+        self.store = ResultStore(store_dir)
+        self.jobs = jobs
+        self.queue_limit = queue_limit
+        self.wall_timeout = wall_timeout
+        self.retries = retries
+        self.batch_linger = batch_linger
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._jobs: dict[str, Job] = {}
+        self._queue: list[str] = []  # fingerprints awaiting dispatch
+        self._coalesced = 0
+        self._rejected = 0
+        self._cache_serves = 0
+        self._stopping = False
+        self._ready = False
+        # Startup self-heal: reclaim temp files a killed predecessor left
+        # behind before accepting work against the same store.
+        self.store.gc()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatcher",
+            daemon=True)
+        self._dispatcher.start()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, spec: dict) -> tuple[str, dict]:
+        """Admit one request; returns ``(outcome, job_view)``.
+
+        Raises :class:`BadRequest` for malformed specs and
+        :class:`QueueFull` when admission control refuses the request.
+        """
+        cell = parse_request(spec)
+        fingerprint = cell.fingerprint
+        with self._lock:
+            job = self._jobs.get(fingerprint)
+            if job is not None and job.state != "done":
+                job.waiters += 1
+                self._coalesced += 1
+                return "coalesced", job.view()
+            entry = self.store.get(fingerprint)
+            if entry is not None:
+                self._cache_serves += 1
+                job = Job(fingerprint=fingerprint, cell=cell, state="done",
+                          source="cache", record=entry.record,
+                          attempts=entry.attempts,
+                          finished_at=time.time())
+                self._jobs[fingerprint] = job
+                self._heal_artifact(entry)
+                return "cached", job.view()
+            if len(self._queue) >= self.queue_limit:
+                self._rejected += 1
+                raise QueueFull(
+                    f"queue is at capacity ({self.queue_limit} jobs); "
+                    f"retry after the backlog drains")
+            if job is not None:
+                # A done job that missed the store is a prior *failure*
+                # (only ok records are stored) — resubmission retries it.
+                job.state = "queued"
+                job.record = None
+                job.source = None
+                job.waiters += 1
+            else:
+                job = Job(fingerprint=fingerprint, cell=cell)
+                self._jobs[fingerprint] = job
+            self._queue.append(fingerprint)
+            self._wake.notify_all()
+            return "queued", job.view()
+
+    def _heal_artifact(self, entry: StoreEntry) -> None:
+        """Backfill a missing audit record for a store-served entry.
+
+        The computed run normally wrote one; if it is gone (partial
+        restore, manual cleanup) the serve emits a ``source="cache"``
+        record so every served result has provenance on disk.  An
+        existing artifact is never overwritten — the original compute
+        audit is the valuable one.
+        """
+        if self.store.read_artifact(entry.fingerprint) is not None:
+            return
+        self.store.write_artifact(entry.fingerprint, build_artifact(
+            entry.fingerprint, entry.record, scale=entry.scale,
+            seed=entry.seed, attempts=entry.attempts,
+            elapsed_s=entry.elapsed_s, source="cache",
+            computed_at=entry.created_at,
+            store_path=str(self.store.entry_path(entry.fingerprint))))
+
+    # -- queries -----------------------------------------------------------
+
+    def job_view(self, fingerprint: str) -> dict | None:
+        """Snapshot one job; falls back to the store so a restarted server
+        still answers for jobs its dead predecessor completed."""
+        with self._lock:
+            job = self._jobs.get(fingerprint)
+            if job is not None:
+                return job.view()
+        entry = self.store.get(fingerprint)
+        if entry is not None:
+            return _entry_view(entry)
+        return None
+
+    def wait(self, fingerprint: str, timeout: float = 30.0,
+             poll: float = 0.05) -> dict | None:
+        """Block until the job is done (or ``timeout``); returns the view."""
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.job_view(fingerprint)
+            if view is None or view["state"] == "done":
+                return view
+            if time.monotonic() >= deadline:
+                return view
+            time.sleep(poll)
+
+    def ready(self) -> bool:
+        """Readiness: the dispatcher is alive and the store is writable."""
+        return (self._ready and not self._stopping
+                and self._dispatcher.is_alive())
+
+    def stats(self) -> dict:
+        with self._lock:
+            by_state = {state: 0 for state in STATES}
+            for job in self._jobs.values():
+                by_state[job.state] += 1
+            return {
+                "queue_depth": len(self._queue),
+                "queue_limit": self.queue_limit,
+                "jobs": by_state,
+                "coalesced": self._coalesced,
+                "rejected": self._rejected,
+                "cache_serves": self._cache_serves,
+                "store": self.store.stats.to_dict(),
+            }
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        self._ready = True
+        while True:
+            with self._wake:
+                while not self._queue and not self._stopping:
+                    self._wake.wait(timeout=0.5)
+                if self._stopping:
+                    return
+                # Linger briefly so a burst of submissions lands in one
+                # orchestrator batch instead of N single-cell sweeps.
+                if self.batch_linger:
+                    self._wake.wait(timeout=self.batch_linger)
+                batch = [self._jobs[fp] for fp in self._queue]
+                self._queue.clear()
+                now = time.time()
+                for job in batch:
+                    job.state = "running"
+                    job.started_at = now
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: list[Job]) -> None:
+        cells = []
+        for job in batch:
+            cell = job.cell
+            cell.key = (job.fingerprint,)
+            cells.append(cell)
+        try:
+            result = run_sweep(
+                cells, jobs=self.jobs, wall_timeout=self.wall_timeout,
+                retries=self.retries, store=self.store)
+        except Exception as exc:  # noqa: BLE001 - the service must survive
+            from repro.analysis.orchestrator import _failed_record
+
+            with self._lock:
+                now = time.time()
+                for job in batch:
+                    job.state = "done"
+                    job.source = "computed"
+                    job.record = _failed_record(
+                        job.cell, "error", f"dispatch failed: {exc}")
+                    job.finished_at = now
+            return
+        with self._lock:
+            now = time.time()
+            for job in batch:
+                key = (job.fingerprint,)
+                job.state = "done"
+                job.record = result.records.get(key)
+                job.attempts = result.attempts.get(key, 1)
+                job.source = "cache" if key in result.cached else "computed"
+                job.finished_at = now
+
+    def shutdown(self) -> None:
+        with self._wake:
+            self._stopping = True
+            self._wake.notify_all()
+        self._dispatcher.join(timeout=5)

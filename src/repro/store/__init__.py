@@ -1,0 +1,13 @@
+"""Crash-safe content-addressed result store.
+
+Submodules (imported lazily to keep layering acyclic — ``fsio`` is also
+used by :mod:`repro.analysis.journal`, which :mod:`repro.store.cas`
+imports for the record schema):
+
+* :mod:`repro.store.fsio` — durability primitives: temp-file +
+  fsync + atomic-rename commits and directory fsync.
+* :mod:`repro.store.cas` — the fingerprint-keyed store itself
+  (:class:`~repro.store.cas.ResultStore`).
+* :mod:`repro.store.chaos` — deterministic fault injection for the
+  crash-consistency test suite (torn writes, bit flips, killed writers).
+"""

@@ -1,0 +1,368 @@
+"""Content-addressed result store: every simulation result, forever.
+
+The deterministic simulator makes a result a pure function of its
+fingerprint — SHA-256 over benchmark + full :class:`GPUConfig` + scale +
+workload seed (:func:`repro.analysis.journal.cell_fingerprint`).  The
+store promotes the sweep journal's per-directory resume into a *global*
+cache: any sweep, experiment, serve job, or CLI run that has ever
+completed a cell can hand its byte-identical ``SimStats`` to every later
+caller without re-simulating.  Cache hits are exact, not approximate.
+
+Layout under the store root::
+
+    objects/<fp[:2]>/<fp>.json   one schema-versioned entry per fingerprint
+    quarantine/                  corrupt entries moved aside on detection
+    artifacts/<fp>.json          per-run audit records (see build_artifact)
+
+Crash safety (the whole point):
+
+* every entry is committed via :func:`repro.store.fsio.commit_bytes` —
+  temp file + fsync + atomic rename + directory fsync — so a reader can
+  never observe a torn entry, and a crash right after creation cannot
+  lose the directory entry;
+* every entry embeds a SHA-256 **checksum** over its canonical payload;
+  a read that fails the checksum (bit rot, a truncated file smuggled in
+  past the rename discipline, manual tampering) **quarantines** the file
+  into ``quarantine/`` and reports a miss — the caller recomputes, the
+  store self-heals, and the corrupt bytes are preserved for forensics;
+* orphan ``.tmp-*`` files left by killed writers are reclaimed by
+  :meth:`ResultStore.gc`.
+
+Only ``ok`` records are stored: terminal failures are journal material
+(they are budget- and environment-dependent), not global truths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.journal import record_from_dict, record_to_dict
+from repro.analysis.runner import RunRecord
+from repro.store.fsio import TMP_PREFIX, commit_bytes, fsync_dir
+
+SCHEMA_VERSION = 1
+
+OBJECTS_DIR = "objects"
+QUARANTINE_DIR = "quarantine"
+ARTIFACTS_DIR = "artifacts"
+
+
+def _canonical(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def checksum_payload(payload: dict) -> str:
+    """Canonical-JSON SHA-256 of an entry payload, ``sha256:`` prefixed."""
+    return "sha256:" + hashlib.sha256(_canonical(payload)).hexdigest()
+
+
+def stats_digest(stats_dict: dict | None) -> str | None:
+    """Digest of one ``SimStats.to_dict()`` — the byte-identity witness
+    that reports and the serve smoke test compare across runs."""
+    if stats_dict is None:
+        return None
+    return "sha256:" + hashlib.sha256(_canonical(stats_dict)).hexdigest()
+
+
+def code_version() -> dict:
+    """Best-effort code identity for audit records: package version plus
+    the git commit when running from a checkout (no subprocesses)."""
+    from repro import __version__
+
+    commit = None
+    root = Path(__file__).resolve()
+    for parent in root.parents:
+        head = parent / ".git" / "HEAD"
+        if head.is_file():
+            try:
+                text = head.read_text().strip()
+                if text.startswith("ref:"):
+                    ref = parent / ".git" / text.split(None, 1)[1]
+                    commit = ref.read_text().strip() if ref.is_file() else None
+                else:
+                    commit = text
+            except OSError:  # pragma: no cover - unreadable .git
+                commit = None
+            break
+    return {"version": __version__, "commit": commit}
+
+
+@dataclass
+class StoreEntry:
+    """One verified store entry: the record plus how it was produced."""
+
+    fingerprint: str
+    record: RunRecord
+    scale: float = 1.0
+    seed: int = 0
+    attempts: int = 1
+    elapsed_s: float = 0.0
+    created_at: float = 0.0
+    checksum: str = ""
+    path: str | None = None
+
+    def payload(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "scale": self.scale,
+            "seed": self.seed,
+            "attempts": self.attempts,
+            "elapsed_s": self.elapsed_s,
+            "created_at": self.created_at,
+            "record": record_to_dict(self.record),
+        }
+
+
+@dataclass
+class StoreStats:
+    """Lifetime-of-this-handle counters (monitoring, tests, reports)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    corrupt: int = 0  # entries quarantined by this handle's reads
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class StoreReport:
+    """Result of a full ``verify()`` scan (``repro doctor --store``)."""
+
+    entries: int = 0
+    verified: int = 0
+    quarantined_now: list[str] = field(default_factory=list)
+    quarantined_before: int = 0  # files already sitting in quarantine/
+    orphan_temps_removed: int = 0
+    artifacts: int = 0
+    bytes: int = 0
+
+    @property
+    def healthy(self) -> bool:
+        return not self.quarantined_now
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class ResultStore:
+    """Fingerprint-keyed, checksum-verified, crash-safe result store."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        for sub in (OBJECTS_DIR, QUARANTINE_DIR, ARTIFACTS_DIR):
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+        fsync_dir(self.root)
+        self.stats = StoreStats()
+
+    # -- paths -------------------------------------------------------------
+
+    def entry_path(self, fingerprint: str) -> Path:
+        return self.root / OBJECTS_DIR / fingerprint[:2] / f"{fingerprint}.json"
+
+    def artifact_path(self, fingerprint: str) -> Path:
+        return self.root / ARTIFACTS_DIR / f"{fingerprint}.json"
+
+    # -- write -------------------------------------------------------------
+
+    def put(self, fingerprint: str, record: RunRecord, *, scale: float = 1.0,
+            seed: int = 0, attempts: int = 1, elapsed_s: float = 0.0,
+            write_hook=None) -> Path | None:
+        """Durably store one completed cell; returns the entry path.
+
+        Failed records are refused (``None``): a timeout under one wall
+        budget is not a global truth about the fingerprint.  Re-putting an
+        existing fingerprint atomically replaces the entry — determinism
+        guarantees the payload is equivalent, so last-writer-wins is safe.
+        """
+        if not record.ok:
+            return None
+        entry = StoreEntry(
+            fingerprint=fingerprint, record=record, scale=scale, seed=seed,
+            attempts=attempts, elapsed_s=round(elapsed_s, 3),
+            created_at=time.time())
+        payload = entry.payload()
+        document = {
+            "v": SCHEMA_VERSION,
+            "checksum": checksum_payload(payload),
+            "payload": payload,
+        }
+        path = self.entry_path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        commit_bytes(path, json.dumps(document, sort_keys=True).encode() + b"\n",
+                     write_hook=write_hook)
+        self.stats.puts += 1
+        return path
+
+    # -- read --------------------------------------------------------------
+
+    def get(self, fingerprint: str) -> StoreEntry | None:
+        """Fetch and *verify* one entry; corrupt entries are quarantined
+        and reported as a miss so the caller recomputes (self-heal)."""
+        path = self.entry_path(fingerprint)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        entry = self._parse(fingerprint, raw, path)
+        if entry is None:
+            self._quarantine(path)
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry
+
+    def _parse(self, fingerprint: str, raw: bytes, path: Path) -> StoreEntry | None:
+        """Decode + verify one entry; ``None`` for any corruption."""
+        try:
+            document = json.loads(raw)
+            if not isinstance(document, dict):
+                return None
+            if int(document.get("v", 0)) > SCHEMA_VERSION:
+                return None  # a newer writer's entry: do not guess
+            payload = document["payload"]
+            if document["checksum"] != checksum_payload(payload):
+                return None
+            if payload["fingerprint"] != fingerprint:
+                return None  # a file renamed onto the wrong key
+            record = record_from_dict(payload["record"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        return StoreEntry(
+            fingerprint=fingerprint, record=record,
+            scale=float(payload.get("scale", 1.0)),
+            seed=int(payload.get("seed", 0)),
+            attempts=int(payload.get("attempts", 1)),
+            elapsed_s=float(payload.get("elapsed_s", 0.0)),
+            created_at=float(payload.get("created_at", 0.0)),
+            checksum=document["checksum"], path=str(path))
+
+    def _quarantine(self, path: Path) -> Path:
+        """Move a corrupt file into ``quarantine/`` (never delete evidence)."""
+        qdir = self.root / QUARANTINE_DIR
+        target = qdir / path.name
+        serial = 0
+        while target.exists():
+            serial += 1
+            target = qdir / f"{path.name}.{serial}"
+        os.replace(path, target)
+        fsync_dir(qdir)
+        fsync_dir(path.parent)
+        return target
+
+    # -- maintenance -------------------------------------------------------
+
+    def verify(self) -> StoreReport:
+        """Scan every entry, quarantine corruption, reclaim orphan temps."""
+        report = StoreReport()
+        report.orphan_temps_removed = self.gc()
+        for path in sorted((self.root / OBJECTS_DIR).glob("*/*.json")):
+            report.entries += 1
+            report.bytes += path.stat().st_size
+            fingerprint = path.stem
+            entry = self._parse(fingerprint, path.read_bytes(), path)
+            if entry is None:
+                self._quarantine(path)
+                self.stats.corrupt += 1
+                report.quarantined_now.append(fingerprint)
+            else:
+                report.verified += 1
+        report.quarantined_before = sum(
+            1 for p in (self.root / QUARANTINE_DIR).iterdir() if p.is_file())
+        report.artifacts = sum(
+            1 for p in (self.root / ARTIFACTS_DIR).glob("*.json"))
+        return report
+
+    def gc(self) -> int:
+        """Remove orphan ``.tmp-*`` commit files left by killed writers."""
+        removed = 0
+        for base in (self.root / OBJECTS_DIR, self.root / ARTIFACTS_DIR):
+            for path in base.rglob(f"{TMP_PREFIX}*"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in (self.root / OBJECTS_DIR).glob("*/*.json"))
+
+    def __bool__(self) -> bool:
+        # A handle is always truthy; without this, __len__ would make an
+        # *empty* store falsy and silently disable `if store:` guards.
+        return True
+
+    # -- audit records -----------------------------------------------------
+
+    def write_artifact(self, fingerprint: str, artifact: dict) -> Path:
+        """Durably publish the per-run audit record for ``fingerprint``."""
+        path = self.artifact_path(fingerprint)
+        commit_bytes(path, json.dumps(artifact, sort_keys=True, indent=2).encode() + b"\n")
+        return path
+
+    def read_artifact(self, fingerprint: str) -> dict | None:
+        try:
+            return json.loads(self.artifact_path(fingerprint).read_text())
+        except (FileNotFoundError, ValueError):
+            return None
+
+
+def build_artifact(fingerprint: str, record: RunRecord, *,
+                   scale: float = 1.0, seed: int = 0, attempts: int = 1,
+                   elapsed_s: float = 0.0, source: str = "computed",
+                   started_at: float | None = None,
+                   finished_at: float | None = None,
+                   store_path: str | None = None,
+                   computed_at: float | None = None,
+                   extra: dict | None = None) -> dict:
+    """The per-run ``artifact.json`` audit record.
+
+    Answers "exactly what was simulated, by which code, how long it took,
+    and where the result came from" — the source of truth a serving layer
+    derives summaries from.  ``source`` is the cache provenance:
+    ``"computed"`` for a fresh simulation, ``"cache"`` when the result was
+    served from the store (``computed_at`` then points at the original).
+    """
+    stats_dict = record.stats.to_dict() if record.stats is not None else None
+    artifact = {
+        "v": SCHEMA_VERSION,
+        "kind": "repro-run-artifact",
+        "run": {
+            "fingerprint": fingerprint,
+            "status": record.status,
+            "error": record.error,
+            "attempts": attempts,
+            "retried": record.retried,
+            "started_at": started_at,
+            "finished_at": finished_at,
+            "elapsed_s": round(elapsed_s, 3),
+        },
+        "request": {
+            "benchmark": record.benchmark,
+            "arch": record.arch,
+            "scale": scale,
+            "seed": seed,
+        },
+        "config": record_to_dict(record)["config"],
+        "code": code_version(),
+        "provenance": {
+            "source": source,
+            "store_path": store_path,
+            "computed_at": computed_at,
+        },
+        "result": {
+            "cycles": record.stats.cycles if record.stats else None,
+            "instructions": record.stats.instructions if record.stats else None,
+            "stats_sha256": stats_digest(stats_dict),
+        },
+    }
+    if extra:
+        artifact.update(extra)
+    return artifact

@@ -270,6 +270,65 @@ def test_sweep_reports_failed_cells(capsys, tmp_path):
     assert (tmp_path / "dumps").exists()
 
 
+def test_sweep_json_format_emits_machine_summary(capsys, tmp_path):
+    import json
+
+    code, out, err = run_cli(
+        capsys, "sweep", "--serial", "--scale", "0.25", "--sms", "1",
+        "--benchmark", "vecadd", "--dir", str(tmp_path / "j"),
+        "--store", str(tmp_path / "store"), "--format", "json")
+    assert code == 0
+    summary = json.loads(out)  # stdout is ONLY the summary document
+    assert summary["v"] == 1 and summary["ok"] is True
+    assert summary["counts"]["total"] == 3
+    assert summary["store"]["puts"] == 3
+    assert all(c["stats_sha256"].startswith("sha256:")
+               for c in summary["cells"] if c["ok"])
+    assert "sweep directory" in err  # human chatter moved to stderr
+
+
+def test_sweep_store_makes_rerun_cache_reads(capsys, tmp_path):
+    import json
+
+    run_cli(capsys, "sweep", "--serial", "--scale", "0.25", "--sms", "1",
+            "--benchmark", "vecadd", "--dir", str(tmp_path / "j1"),
+            "--store", str(tmp_path / "store"))
+    code, out, _err = run_cli(
+        capsys, "sweep", "--serial", "--scale", "0.25", "--sms", "1",
+        "--benchmark", "vecadd", "--dir", str(tmp_path / "j2"),
+        "--store", str(tmp_path / "store"), "--format", "json")
+    assert code == 0
+    summary = json.loads(out)
+    assert summary["counts"]["cached"] == 3
+    assert summary["store"]["hits"] == 3 and summary["store"]["puts"] == 0
+
+
+def test_doctor_store_audit_verdict(capsys, tmp_path):
+    code, out, _err = run_cli(
+        capsys, "doctor", "--scale", "0.1", "--benchmark", "vecadd",
+        "--store", str(tmp_path / "store"))
+    assert code == 0
+    assert "result store" in out and "entries verified" in out
+
+
+def test_doctor_fails_on_sick_store(capsys, tmp_path):
+    from repro.store import chaos
+    from repro.store.cas import ResultStore
+
+    store = ResultStore(tmp_path / "store")
+    record = chaos.synthetic_record(3)
+    from repro.analysis.journal import cell_fingerprint
+
+    fp = cell_fingerprint(record.benchmark, record.config, 1.0, 3)
+    store.put(fp, record)
+    chaos.corrupt_entry(store, fp, seed=1)
+    code, out, _err = run_cli(
+        capsys, "doctor", "--scale", "0.1", "--benchmark", "vecadd",
+        "--store", str(tmp_path / "store"))
+    assert code == 1  # a quarantining audit is a failing doctor
+    assert "quarantined" in out
+
+
 def test_experiment_jobs_flag_parses():
     # (The jobs-mode wiring itself is covered by tests/test_orchestrator.py;
     # running a full experiment through workers is too slow for this suite.)

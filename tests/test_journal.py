@@ -164,3 +164,34 @@ def test_write_dump(tmp_path, cfg):
     assert "feedbeef" in path
     assert "forensics" in open(path).read()
     assert journal.write_dump("feedbeef", None) is None
+
+
+# ---------------------------------------------------------------------------
+# directory-entry durability (the dirfd-fsync bugfix)
+# ---------------------------------------------------------------------------
+
+def test_journal_creation_fsyncs_the_directory(tmp_path, cfg, monkeypatch):
+    """The append that creates journal.jsonl must fsync the containing
+    directory: fsyncing the file alone makes the *bytes* durable but not
+    the directory entry, so a crash right after creation could lose the
+    whole journal even though every line was fsynced."""
+    import os as os_mod
+    import stat
+
+    synced_dirs = []
+    real_fsync = os_mod.fsync
+
+    def spy_fsync(fd):
+        if stat.S_ISDIR(os_mod.fstat(fd).st_mode):
+            synced_dirs.append(os_mod.readlink(f"/proc/self/fd/{fd}"))
+        return real_fsync(fd)
+
+    monkeypatch.setattr(os_mod, "fsync", spy_fsync)
+    journal = Journal.open(tmp_path / "sweep")
+    journal.append(_entry(cfg))
+    assert str(tmp_path / "sweep") in synced_dirs
+
+    # Appends to an existing journal do not re-pay the directory fsync.
+    synced_dirs.clear()
+    journal.append(_entry(cfg, bench="saxpy"))
+    assert synced_dirs == []

@@ -134,3 +134,51 @@ def test_doctor_flags_unhealthy_cell(monkeypatch):
     report, data = doctor_report(scale=0.25, benches=["vecadd"])
     assert "FAILED(timeout)" in report
     assert data["failures"]
+
+
+# ---------------------------------------------------------------------------
+# wall-budget-aware timeout retry (the retry-budget bugfix)
+# ---------------------------------------------------------------------------
+
+def test_unaffordable_retry_is_skipped_as_wall_timeout(cfg):
+    """With no wall budget left, the doubled-budget retry used to launch
+    anyway and overshoot the deadline, surfacing as a misleading second
+    ``timeout``; it must instead be skipped and reported ``wall-timeout``."""
+    bench = get("vecadd")
+    record = run_benchmark_safe(bench, cfg, scale=0.25, max_cycles=100,
+                                wall_budget=1e-6)
+    assert record.status == "wall-timeout"
+    assert record.status in STATUSES
+    assert not record.retried  # the retry never launched
+    assert "retry skipped" in record.error
+    assert "wall budget" in record.error
+
+
+def test_generous_wall_budget_still_allows_the_retry(cfg):
+    bench = get("vecadd")
+    full = run_benchmark(bench, cfg, scale=0.25)
+    tight = int(full.cycles * 0.75)
+    record = run_benchmark_safe(bench, cfg, scale=0.25, max_cycles=tight,
+                                wall_budget=3600.0)
+    assert record.ok
+    assert record.retried
+    assert record.cycles == full.cycles
+
+
+def test_clamped_retry_that_times_out_reports_wall_timeout(cfg, monkeypatch):
+    """When the remaining budget affords more than the first attempt but
+    less than 2x, the retry runs clamped — and if it *still* times out the
+    status is ``wall-timeout`` with the clamp explained, not ``timeout``."""
+    import time as time_mod
+
+    bench = get("vecadd")
+    # Fake the clock so exactly half the wall budget is gone after the
+    # first attempt: affordable = first_budget * remaining/elapsed ~= 1.5x,
+    # strictly between 1x and 2x -> the clamp path, deterministically.
+    ticks = iter([0.0, 10.0, 10.0, 10.0])
+    monkeypatch.setattr(time_mod, "monotonic", lambda: next(ticks, 25.0))
+    record = run_benchmark_safe(bench, cfg, scale=0.25, max_cycles=100,
+                                wall_budget=25.0)
+    assert record.status == "wall-timeout"
+    assert record.retried
+    assert "clamped" in record.error

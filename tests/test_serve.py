@@ -1,0 +1,244 @@
+"""The ``repro serve`` job service: request validation, dedupe/coalescing,
+bounded-queue backpressure, cache serving, restart resume, and the HTTP
+surface.  (Server crash/kill chaos lives in tests/test_store_chaos.py.)"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.http import make_server
+from repro.serve.service import BadRequest, JobService, QueueFull, parse_request
+
+SPEC = {"benchmark": "vecadd", "arch": "baseline", "scale": 0.25, "sms": 1}
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = JobService(tmp_path / "store", jobs=0, queue_limit=8)
+    yield svc
+    svc.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# request validation
+# ---------------------------------------------------------------------------
+
+def test_parse_request_builds_the_right_cell():
+    cell = parse_request({"benchmark": "vecadd", "arch": "vt", "scale": 0.5,
+                          "sms": 1, "seed": 3, "dram_latency": 600})
+    assert cell.benchmark == "vecadd"
+    assert cell.cfg.arch == "vt"
+    assert cell.cfg.num_sms == 1
+    assert cell.cfg.dram_latency == 600
+    assert cell.scale == 0.5
+    assert cell.workload_seed == 3
+
+
+def test_parse_request_fingerprint_matches_sweep_fingerprint():
+    # A serve job and a sweep cell for the same work must share a cache key.
+    from repro.analysis.journal import cell_fingerprint
+    from repro.sim.config import scaled_fermi
+
+    cell = parse_request(dict(SPEC))
+    assert cell.fingerprint == cell_fingerprint(
+        "vecadd", scaled_fermi(num_sms=1, arch="baseline"), 0.25, 0)
+
+
+@pytest.mark.parametrize("spec, match", [
+    ({}, "missing 'benchmark'"),
+    ({"benchmark": "no-such-bench"}, "no-such-bench"),
+    ({"benchmark": "vecadd", "arch": "warp-drive"}, "unknown arch"),
+    ({"benchmark": "vecadd", "scale": -1}, "scale"),
+    ({"benchmark": "vecadd", "scale": "wide"}, "bad numeric"),
+    ({"benchmark": "vecadd", "typo_knob": 1}, "typo_knob"),
+    ("just a string", "must be an object"),
+])
+def test_parse_request_rejects_malformed_specs(spec, match):
+    with pytest.raises(BadRequest, match=match):
+        parse_request(spec)
+
+
+# ---------------------------------------------------------------------------
+# service lifecycle: queue -> coalesce -> compute -> cache
+# ---------------------------------------------------------------------------
+
+def test_submit_coalesce_compute_and_cache(service):
+    outcome1, view1 = service.submit(dict(SPEC))
+    assert outcome1 == "queued"
+    # identical concurrent submission attaches to the in-flight job
+    outcome2, view2 = service.submit(dict(SPEC))
+    assert outcome2 == "coalesced"
+    assert view2["fingerprint"] == view1["fingerprint"]
+    assert view2["waiters"] == 2
+
+    done = service.wait(view1["fingerprint"], timeout=120)
+    assert done["state"] == "done" and done["ok"]
+    assert done["source"] == "computed"
+    assert done["stats_sha256"].startswith("sha256:")
+
+    # resubmitting completed work is a pure cache read, byte-identical
+    outcome3, view3 = service.submit(dict(SPEC))
+    assert outcome3 == "cached"
+    assert view3["source"] == "cache"
+    assert view3["stats"] == done["stats"]
+    assert view3["stats_sha256"] == done["stats_sha256"]
+    stats = service.stats()
+    assert stats["coalesced"] == 1
+    assert stats["cache_serves"] == 1
+    assert service.store.stats.puts == 1
+
+
+def test_restart_serves_predecessors_results(tmp_path):
+    first = JobService(tmp_path / "store", jobs=0, queue_limit=8)
+    _, view = first.submit(dict(SPEC))
+    done = first.wait(view["fingerprint"], timeout=120)
+    assert done["ok"]
+    first.shutdown()
+
+    second = JobService(tmp_path / "store", jobs=0, queue_limit=8)
+    try:
+        outcome, view2 = second.submit(dict(SPEC))
+        assert outcome == "cached"
+        assert view2["stats_sha256"] == done["stats_sha256"]
+        # polling a fingerprint this process never ran also works
+        polled = second.job_view(view["fingerprint"])
+        assert polled is not None and polled["state"] == "done"
+        # a served result always has an audit artifact on disk
+        assert second.store.read_artifact(view["fingerprint"]) is not None
+    finally:
+        second.shutdown()
+
+
+def test_bounded_queue_refuses_overflow_explicitly(tmp_path):
+    # A huge linger keeps everything queued so admission control is what
+    # we measure, not dispatch speed.
+    service = JobService(tmp_path / "store", jobs=0, queue_limit=2,
+                         batch_linger=300.0)
+    try:
+        specs = [{"benchmark": b, "arch": a, "scale": 0.25, "sms": 1}
+                 for b in ("stride", "hotspot") for a in ("baseline", "vt")]
+        outcomes = []
+        for spec in specs:
+            try:
+                outcomes.append(service.submit(spec)[0])
+            except QueueFull as exc:
+                assert "capacity" in str(exc)
+                outcomes.append("rejected")
+        assert outcomes == ["queued", "queued", "rejected", "rejected"]
+        stats = service.stats()
+        assert stats["rejected"] == 2
+        assert stats["queue_depth"] == 2
+        # coalescing still works at capacity: no new queue slot needed
+        assert service.submit(specs[0])[0] == "coalesced"
+    finally:
+        service.shutdown()
+
+
+def test_failed_job_is_retried_on_resubmit(tmp_path, monkeypatch):
+    service = JobService(tmp_path / "store", jobs=0, queue_limit=8,
+                         batch_linger=300.0)
+    try:
+        _, view = service.submit(dict(SPEC))
+        fp = view["fingerprint"]
+        # forge a terminal failure (failures are never stored)
+        job = service._jobs[fp]
+        from repro.analysis.orchestrator import _failed_record
+
+        job.state = "done"
+        job.record = _failed_record(job.cell, "wall-timeout", "deadline")
+        service._queue.clear()
+        outcome, view2 = service.submit(dict(SPEC))
+        assert outcome == "queued"  # a fresh attempt, not the stale failure
+        assert view2["state"] == "queued"
+    finally:
+        service.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# HTTP surface
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def http_base(service):
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_address[1]}"
+    server.shutdown()
+    server.server_close()
+
+
+def _request(base, method, path, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(base + path, data=data, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, json.loads(response.read()), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
+def test_http_health_ready_stats(http_base):
+    status, body, _ = _request(http_base, "GET", "/v1/healthz")
+    assert status == 200 and body["ok"] is True
+    status, body, _ = _request(http_base, "GET", "/v1/readyz")
+    assert status == 200 and body["ready"] is True
+    status, body, _ = _request(http_base, "GET", "/v1/stats")
+    assert status == 200 and "queue_depth" in body and "store" in body
+
+
+def test_http_submit_poll_stream_roundtrip(http_base):
+    status, body, _ = _request(http_base, "POST", "/v1/jobs",
+                               {"jobs": [dict(SPEC), dict(SPEC)]})
+    assert status == 200
+    outcomes = [r["outcome"] for r in body["results"]]
+    assert outcomes == ["queued", "coalesced"]
+    fingerprint = body["results"][0]["job"]["fingerprint"]
+
+    # stream long-polls until done; the final line is the terminal state
+    with urllib.request.urlopen(
+            http_base + f"/v1/jobs/{fingerprint}/stream", timeout=120) as resp:
+        assert resp.headers["Content-Type"] == "application/x-ndjson"
+        lines = [json.loads(line) for line in resp.read().splitlines() if line]
+    assert lines[-1]["state"] == "done" and lines[-1]["ok"]
+
+    status, body, _ = _request(http_base, "GET", f"/v1/jobs/{fingerprint}")
+    assert status == 200 and body["state"] == "done"
+    assert body["stats_sha256"] == lines[-1]["stats_sha256"]
+
+
+def test_http_errors(http_base):
+    status, _, _ = _request(http_base, "GET", "/v1/jobs/" + "f" * 16)
+    assert status == 404
+    status, _, _ = _request(http_base, "GET", "/v1/no-such-route")
+    assert status == 404
+    status, body, _ = _request(http_base, "POST", "/v1/jobs",
+                               {"benchmark": "no-such-bench"})
+    assert status == 400
+    status, body, _ = _request(http_base, "POST", "/v1/jobs", {"jobs": []})
+    assert status == 400
+
+
+def test_http_backpressure_is_429_with_retry_after(tmp_path):
+    service = JobService(tmp_path / "store", jobs=0, queue_limit=1,
+                         batch_linger=300.0)
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    try:
+        specs = [{"benchmark": b, "arch": "baseline", "scale": 0.25, "sms": 1}
+                 for b in ("stride", "hotspot", "kmeans")]
+        status, body, headers = _request(base, "POST", "/v1/jobs",
+                                         {"jobs": specs})
+        assert status == 429
+        assert headers.get("Retry-After") == "1"
+        outcomes = [r["outcome"] for r in body["results"]]
+        assert outcomes == ["queued", "rejected", "rejected"]
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.shutdown()
