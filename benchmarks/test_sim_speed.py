@@ -19,11 +19,20 @@ import pytest
 from conftest import bench_config
 
 from repro.kernels import get
+from repro.sim.config import scaled_fermi
 from repro.sim.gpu import GPU
 
 # (kernel, workload scale): hotspot at its usual benchmark scale; stride
 # small enough that one CTA lands per SM — raw memory latency, no overlap.
 WORKLOADS = [("hotspot", 0.5), ("stride", 0.0625)]
+
+# Serial-vs-sharded engine comparison: the queue-staggered pointer chase
+# from scripts/bench_simspeed.py at many SMs.  Kept at 32 SMs here so the
+# pytest-benchmark sweep stays quick; the standalone script also runs the
+# 128-SM gate cell.
+PARALLEL_SMS = 32
+PARALLEL_OVERRIDES = {"dram_latency": 800, "dram_channels": 1,
+                      "dram_service_cycles": 40, "lat_alu": 1}
 
 
 def _setup(kernel_name, scale, arch, fast_forward):
@@ -49,4 +58,23 @@ def test_simulator_throughput(benchmark, arch, kernel_name, scale, engine):
     )
     assert cycles > 0
     # Report simulated cycles/second alongside wall time.
+    benchmark.extra_info["simulated_cycles"] = cycles
+
+
+def _setup_parallel(engine):
+    bench = get("chase")
+    prep = bench.prepare(PARALLEL_SMS / 32)
+    gpu = GPU(scaled_fermi(num_sms=PARALLEL_SMS, engine=engine, sim_jobs=1,
+                           **PARALLEL_OVERRIDES))
+    return (gpu, bench.kernel, prep), {}
+
+
+@pytest.mark.parametrize("engine", ["serial", "parallel"])
+def test_engine_throughput(benchmark, engine):
+    cycles = benchmark.pedantic(
+        _launch,
+        setup=lambda: _setup_parallel(engine),
+        rounds=3,
+    )
+    assert cycles > 0
     benchmark.extra_info["simulated_cycles"] = cycles

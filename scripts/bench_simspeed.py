@@ -43,9 +43,28 @@ ENGINES = ("fast-forward", "reference")
 WORKLOADS = (("hotspot", 0.5), ("stride", 0.0625))
 NUM_SMS = 2
 
+# Serial-vs-parallel engine cells: per-CTA pointer chains (``chase``)
+# behind a single slow DRAM channel.  The queue staggers the SMs' issue
+# windows so *some* SM issues on every cycle — chip fast-forward never
+# fires and the serial engine pays the full every-SM scan each cycle,
+# while the sharded epoch engine only visits SMs whose window is live.
+# ``sim_jobs=1`` keeps the shards in-process: the speedup is algorithmic
+# (epoch batching + dormancy), so it holds on a single-core runner.
+PARALLEL_KERNEL = "chase"
+PARALLEL_NUM_SMS = (32, 128)
+PARALLEL_GATE_SMS = 128  # the ≥8-SM workload the speedup gate applies to
+PARALLEL_MIN_SPEEDUP = 3.0
+PARALLEL_OVERRIDES = {"dram_latency": 800, "dram_channels": 1,
+                      "dram_service_cycles": 40, "lat_alu": 1}
+PARALLEL_ENGINES = ("serial", "parallel")
+
 
 def cell_id(kernel: str, arch: str, engine: str) -> str:
     return f"{kernel}/{arch}/{engine}"
+
+
+def parallel_cell_id(num_sms: int, engine: str) -> str:
+    return f"{PARALLEL_KERNEL}/{num_sms}sm/{engine}"
 
 
 def measure_cell(kernel_name: str, scale: float, arch: str, engine: str,
@@ -67,6 +86,35 @@ def measure_cell(kernel_name: str, scale: float, arch: str, engine: str,
             "cycles_per_sec": round(cycles / best, 1)}
 
 
+def measure_parallel_cell(num_sms: int, engine: str, rounds: int) -> dict:
+    bench = get(PARALLEL_KERNEL)
+    best = None
+    cycles = 0
+    for _ in range(rounds):
+        prep = bench.prepare(num_sms / 32)
+        gpu = GPU(scaled_fermi(num_sms=num_sms, engine=engine, sim_jobs=1,
+                               **PARALLEL_OVERRIDES))
+        t0 = time.perf_counter()
+        result = gpu.launch(bench.kernel, prep.grid_dim, prep.gmem, prep.params)
+        elapsed = time.perf_counter() - t0
+        prep.check(prep.gmem)
+        cycles = result.stats.cycles
+        if best is None or elapsed < best:
+            best = elapsed
+    return {"cycles": cycles, "seconds": round(best, 6),
+            "cycles_per_sec": round(cycles / best, 1)}
+
+
+def parallel_speedups(cells: dict) -> dict[int, float]:
+    out = {}
+    for num_sms in PARALLEL_NUM_SMS:
+        serial = cells.get(parallel_cell_id(num_sms, "serial"))
+        par = cells.get(parallel_cell_id(num_sms, "parallel"))
+        if serial and par:
+            out[num_sms] = par["cycles_per_sec"] / serial["cycles_per_sec"]
+    return out
+
+
 def measure_all(rounds: int) -> dict:
     cells = {}
     for kernel_name, scale in WORKLOADS:
@@ -74,8 +122,17 @@ def measure_all(rounds: int) -> dict:
             for engine in ENGINES:
                 cells[cell_id(kernel_name, arch, engine)] = measure_cell(
                     kernel_name, scale, arch, engine, rounds)
+    for num_sms in PARALLEL_NUM_SMS:
+        for engine in PARALLEL_ENGINES:
+            cells[parallel_cell_id(num_sms, engine)] = measure_parallel_cell(
+                num_sms, engine, rounds)
     return {"num_sms": NUM_SMS,
             "workloads": {k: s for k, s in WORKLOADS},
+            "parallel": {"kernel": PARALLEL_KERNEL,
+                         "num_sms": list(PARALLEL_NUM_SMS),
+                         "gate_sms": PARALLEL_GATE_SMS,
+                         "min_speedup": PARALLEL_MIN_SPEEDUP,
+                         "overrides": PARALLEL_OVERRIDES},
             "cells": cells}
 
 
@@ -91,9 +148,12 @@ def print_table(data: dict) -> None:
             ref = cells[cell_id(kernel_name, arch, "reference")]
             speedup = fast["cycles_per_sec"] / ref["cycles_per_sec"]
             print(f"fast-forward speedup {kernel_name}/{arch}: x{speedup:.2f}")
+    for num_sms, speedup in parallel_speedups(cells).items():
+        print(f"parallel speedup {PARALLEL_KERNEL}/{num_sms}sm: x{speedup:.2f}")
 
 
-def check(data: dict, tolerance: float) -> int:
+def check(data: dict, tolerance: float,
+          min_parallel_speedup: float = PARALLEL_MIN_SPEEDUP) -> int:
     if not BASELINE_PATH.exists():
         print(f"no baseline at {BASELINE_PATH}; run with --write first",
               file=sys.stderr)
@@ -117,9 +177,20 @@ def check(data: dict, tolerance: float) -> int:
             status = "REGRESSION"
             failures.append(name)
         print(f"  {name:40s} calibrated {calibrated:5.2f}  {status}")
+    # The serial-vs-parallel speedup compares two legs of the *same* run on
+    # the same machine, so no calibration is needed: the ratio must clear
+    # the gate outright.
+    gate = parallel_speedups(data["cells"]).get(PARALLEL_GATE_SMS)
+    if gate is not None:
+        status = "ok" if gate >= min_parallel_speedup else "BELOW GATE"
+        print(f"  parallel speedup @{PARALLEL_GATE_SMS}sm: x{gate:.2f} "
+              f"(gate x{min_parallel_speedup:.1f})  {status}")
+        if gate < min_parallel_speedup:
+            failures.append(f"parallel-speedup@{PARALLEL_GATE_SMS}sm")
     if failures:
         print(f"{len(failures)} cell(s) regressed more than "
-              f"{tolerance:.0%} below the calibrated baseline", file=sys.stderr)
+              f"{tolerance:.0%} below the calibrated baseline "
+              f"or missed the parallel-speedup gate", file=sys.stderr)
         return 1
     print("throughput within tolerance")
     return 0
@@ -135,6 +206,11 @@ def main(argv=None) -> int:
                         help="allowed calibrated shortfall (default 0.30)")
     parser.add_argument("--rounds", type=int, default=3,
                         help="timing rounds per cell; best-of is kept")
+    parser.add_argument("--min-parallel-speedup", type=float,
+                        default=PARALLEL_MIN_SPEEDUP,
+                        help="required parallel-over-serial speedup on the "
+                             f"{PARALLEL_GATE_SMS}-SM cell (default "
+                             f"{PARALLEL_MIN_SPEEDUP})")
     args = parser.parse_args(argv)
 
     data = measure_all(args.rounds)
@@ -144,7 +220,7 @@ def main(argv=None) -> int:
         print(f"baseline written to {BASELINE_PATH}")
         return 0
     if args.check:
-        return check(data, args.tolerance)
+        return check(data, args.tolerance, args.min_parallel_speedup)
     return 0
 
 

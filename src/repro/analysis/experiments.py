@@ -927,7 +927,8 @@ def sweep_report(benches=None, archs=ARCHS, scale: float = 1.0, sms: int = 2,
                  *, jobs: int = 2, wall_timeout: float | None = None,
                  retries: int = 1, sweep_dir=None, resume: bool = False,
                  max_cycles: int | None = None, sanitize: bool = False,
-                 fast_forward: bool = True, progress=None, store=None):
+                 fast_forward: bool = True, engine: str = "serial",
+                 sim_jobs: int = 1, progress=None, store=None):
     """The (benchmark x arch) matrix through the subprocess orchestrator.
 
     Returns ``(report, result)`` where ``result`` is the
@@ -941,7 +942,8 @@ def sweep_report(benches=None, archs=ARCHS, scale: float = 1.0, sms: int = 2,
     from repro.analysis.orchestrator import matrix_cells, run_sweep
 
     cfg = scaled_fermi(num_sms=sms, sanitize=sanitize,
-                       fast_forward=fast_forward)
+                       fast_forward=fast_forward, engine=engine,
+                       sim_jobs=sim_jobs)
     if benches is None:
         benches = all_benchmarks()
     else:

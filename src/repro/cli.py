@@ -75,6 +75,10 @@ def _config(args, arch: str):
         overrides["sanitize"] = True
     if getattr(args, "no_fast_forward", False):
         overrides["fast_forward"] = False
+    if getattr(args, "engine", None):
+        overrides["engine"] = args.engine
+    if getattr(args, "sim_jobs", None):
+        overrides["sim_jobs"] = args.sim_jobs
     return scaled_fermi(num_sms=args.sms, arch=arch, **overrides)
 
 
@@ -92,10 +96,27 @@ def cmd_list(_args) -> int:
 
 def cmd_run(args) -> int:
     bench = get(args.benchmark)
-    record = run_benchmark(bench, _config(args, args.arch), scale=args.scale,
-                           max_cycles=args.max_cycles)
+    cfg = _config(args, args.arch)
+    if args.profile:
+        from repro.analysis.profiling import (
+            format_profile,
+            profile_run,
+            write_profile,
+        )
+
+        record, report = profile_run(
+            lambda: run_benchmark(bench, cfg, scale=args.scale,
+                                  max_cycles=args.max_cycles))
+        write_profile(report, args.profile)
+    else:
+        report = None
+        record = run_benchmark(bench, cfg, scale=args.scale,
+                               max_cycles=args.max_cycles)
     print(f"{bench.name} on {args.arch} (scale {args.scale:g}, {args.sms} SMs):")
     print(record.stats.summary())
+    if report is not None:
+        print(f"\ncomponent time (cProfile, written to {args.profile}):")
+        print(format_profile(report))
     return 0
 
 
@@ -176,6 +197,7 @@ def cmd_sweep(args) -> int:
             sweep_dir=sweep_dir, resume=args.resume is not None,
             max_cycles=args.max_cycles, sanitize=args.sanitize,
             fast_forward=not args.no_fast_forward,
+            engine=args.engine, sim_jobs=args.sim_jobs,
             progress=lambda message: print(f"  {message}", file=sys.stderr),
             store=args.store,
         )
@@ -490,6 +512,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scheduler", choices=("lrr", "gto", "two-level"), default=None)
         p.add_argument("--sanitize", action="store_true",
                        help="run the per-cycle invariant sanitizer (slower)")
+        p.add_argument("--engine", choices=("serial", "parallel"),
+                       default="serial",
+                       help="simulation engine: the serial per-cycle loop or "
+                            "the sharded epoch engine (identical stats)")
+        p.add_argument("--jobs", dest="sim_jobs", type=positive_int, default=1,
+                       help="worker shards for --engine parallel "
+                            "(1 = in-process shards, >1 = forked workers)")
         p.add_argument("--no-fast-forward", action="store_true",
                        help="force the per-cycle reference engine instead of "
                             "the event-driven fast-forward engine (slower; "
@@ -498,6 +527,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the hard cycle budget")
 
     run_p = sub.add_parser("run", help="simulate one benchmark")
+    run_p.add_argument("--profile", metavar="PATH", default=None,
+                       help="profile the run and write per-component "
+                            "wall-time JSON to PATH")
     add_sim_args(run_p)
     run_p.set_defaults(fn=cmd_run)
 
@@ -534,6 +566,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker subprocesses (default 2)")
     sweep_p.add_argument("--serial", action="store_true",
                          help="run in-process (no isolation; still journaled)")
+    sweep_p.add_argument("--engine", choices=("serial", "parallel"),
+                         default="serial",
+                         help="simulation engine for every cell "
+                              "(identical stats either way)")
+    sweep_p.add_argument("--sim-jobs", type=positive_int, default=1,
+                         help="worker shards inside each cell for "
+                              "--engine parallel (distinct from --jobs)")
     sweep_p.add_argument("--wall-timeout", type=positive_float, default=None,
                          metavar="SECONDS",
                          help="kill any cell exceeding this wall-clock budget")

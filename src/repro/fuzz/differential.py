@@ -3,8 +3,10 @@
 For one spec, :func:`run_case` runs the full cross product:
 
 * **engines**: the per-cycle reference engine vs the event-driven
-  fast-forward engine (``cfg.fast_forward``), whose statistics must be
-  byte-identical (``SimStats.to_dict()`` equality);
+  fast-forward engine (``cfg.fast_forward``) vs the sharded parallel
+  engine (``cfg.engine = "parallel"``, shard count derived from the
+  seed), whose statistics must be byte-identical
+  (``SimStats.to_dict()`` equality);
 * **architectures**: ``baseline`` and ``vt`` (each with its own engine
   pair and sanitizer run);
 * **sanitizer**: a ``sanitize=True`` leg per architecture, which both
@@ -223,6 +225,12 @@ def run_case(spec: dict, cfg: GPUConfig | None = None, *,
             faults=fault_plan)
         san_stats, san_data = launch(
             f"{arch}/sanitize", base.with_(sanitize=True, fast_forward=False))
+        # Sharded-engine leg: shard count varies with the seed so both the
+        # in-process (1) and forked (2) drivers see fuzz traffic.  The
+        # engine may decline and rerun serially — still required to match.
+        par_stats, par_data = launch(
+            f"{arch}/parallel",
+            base.with_(engine="parallel", sim_jobs=1 + spec.get("seed", 0) % 2))
 
         if ref_stats is not None and ff_stats is not None and ref_stats != ff_stats:
             result.divergences.append(Divergence(
@@ -232,8 +240,12 @@ def run_case(spec: dict, cfg: GPUConfig | None = None, *,
             result.divergences.append(Divergence(
                 "stats-mismatch", f"{arch}/sanitize",
                 _first_stat_diff(san_stats, ref_stats)))
+        if par_stats is not None and ref_stats is not None and par_stats != ref_stats:
+            result.divergences.append(Divergence(
+                "stats-mismatch", f"{arch}/parallel",
+                _first_stat_diff(par_stats, ref_stats)))
         for leg, data in (("reference", ref_data), ("fast-forward", ff_data),
-                          ("sanitize", san_data)):
+                          ("sanitize", san_data), ("parallel", par_data)):
             if data is not None and not np.array_equal(data, expected,
                                                        equal_nan=True):
                 result.divergences.append(Divergence(

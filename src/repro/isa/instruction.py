@@ -112,9 +112,26 @@ class Instruction:
     #: Reconvergence PC for divergent branches; filled by CFG analysis.
     reconv_pc: int | None = field(default=None, compare=False)
 
-    @property
-    def info(self):
-        return OPCODE_INFO[self.op]
+    def __post_init__(self):
+        # Issue-time hot path: the opcode metadata and hazard register list
+        # are functions of fields fixed at construction (``target`` and
+        # ``reconv_pc`` are patched later but name no registers), so they
+        # are computed once here instead of per scoreboard/scheduler query.
+        self.info = OPCODE_INFO[self.op]
+        self._class_key = self.info.op_class.value
+        regs: list[int] = []
+        for operand in self.srcs:
+            if isinstance(operand, Reg):
+                regs.append(operand.idx)
+            elif isinstance(operand, MemRef):
+                regs.append(operand.base.idx)
+        if self.pred is not None:
+            regs.append(self.pred.idx)
+        self._src_regs = tuple(regs)
+        # Sources then destination, duplicates kept: the scoreboard's
+        # latest-blocker classification walks this exact order.
+        self._hazard_regs = self._src_regs + (
+            (self.dst.idx,) if self.dst is not None else ())
 
     @property
     def is_branch(self) -> bool:
@@ -151,15 +168,7 @@ class Instruction:
     def src_regs(self) -> list[int]:
         """Register indices read by this instruction (including predicates
         and memory base addresses)."""
-        regs: list[int] = []
-        for operand in self.srcs:
-            if isinstance(operand, Reg):
-                regs.append(operand.idx)
-            elif isinstance(operand, MemRef):
-                regs.append(operand.base.idx)
-        if self.pred is not None:
-            regs.append(self.pred.idx)
-        return regs
+        return list(self._src_regs)
 
     def dst_reg(self) -> int | None:
         return self.dst.idx if self.dst is not None else None

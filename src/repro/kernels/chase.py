@@ -1,0 +1,90 @@
+"""chase — pointer-chase latency microbenchmark (serialized issue).
+
+Each CTA walks its own pointer chain through global memory: every loaded
+value *is* the next address, and a dependent integer chain after each load
+keeps the warp issuing on every cycle of the load round-trip.  Chains are
+line-disjoint across CTAs (per-CTA start lines, large stride), so the
+workload scales to many SMs with zero cross-SM sharing — the parallel
+engine's best case, and the fast-forward engine's worst case (no provably
+dead gap ever opens).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.kernels.base import Benchmark, Prepared, expect_close, make_gmem
+
+CTA_THREADS = 32
+ITERS = 24
+CHAIN = 45  # dependent IADDs per load: spans the load round-trip
+STRIDE_WORDS = 8192  # chain step: always a new DRAM line
+MAX_CTAS = 256  # per-CTA start lines stay below the first chain step
+
+_ALU_CHAIN = "\n".join("    IADD  r9, r9, #1" for _ in range(CHAIN - 1))
+
+# param0=&x, param1=&out.  One chain per CTA (all lanes chase the same
+# pointer, fully coalesced); r6 ends as the final chased address.
+ASM = f"""
+.kernel chase
+.regs 13
+.cta {CTA_THREADS}
+entry:
+    S2R   r0, %ctaid_x
+    SHL   r1, r0, #7            // start byte offset: line ctaid
+    S2R   r2, %param0
+    IADD  r6, r2, r1            // &x[32 * ctaid]
+    MOV   r8, #0                // iter
+loop:
+    LDG   r6, [r6]              // next pointer
+    IADD  r9, r6, #1            // dependent ALU chain on the loaded value
+{_ALU_CHAIN}
+    IADD  r8, r8, #1
+    SETP.LT r10, r8, #{ITERS}
+@r10 BRA  loop
+    S2R   r11, %param1
+    SHL   r12, r0, #2
+    IADD  r11, r11, r12
+    STG   [r11], r6             // final pointer: checks the whole chain
+    EXIT
+"""
+
+KERNEL = assemble(ASM)
+
+
+def prepare(scale: float = 1.0) -> Prepared:
+    grid = min(MAX_CTAS, max(2, int(32 * scale)))
+    n = STRIDE_WORDS * (ITERS + 4)
+
+    gmem = make_gmem(size_bytes=1 << 24)
+    gmem.alloc("x", n)
+    gmem.alloc("out", grid)
+    base = gmem.base("x")
+    # x[w] = address of word (w + STRIDE) mod n: a single global cycle that
+    # every CTA enters at its own start line.
+    idx = np.arange(n, dtype=np.int64)
+    gmem.write("x", (base + ((idx + STRIDE_WORDS) % n) * 4).astype(np.float64))
+
+    start = 32 * np.arange(grid, dtype=np.int64)
+    reference = (base + ((start + ITERS * STRIDE_WORDS) % n) * 4).astype(np.float64)
+
+    def check(result):
+        expect_close(result, "out", reference, rtol=0)
+
+    return Prepared(
+        gmem=gmem,
+        grid_dim=(grid, 1, 1),
+        params=(gmem.base("x"), gmem.base("out")),
+        check=check,
+    )
+
+
+BENCHMARK = Benchmark(
+    name="chase",
+    suite="GUPS-class (synthetic)",
+    description="Per-CTA pointer chains with dependent ALU fill: zero-gap issue",
+    category="latency",
+    kernel=KERNEL,
+    prepare=prepare,
+)

@@ -6,6 +6,7 @@ from repro.kernels import (
     backprop,
     bfs,
     btree,
+    chase,
     histogram,
     hotspot,
     kmeans,
@@ -31,6 +32,7 @@ _MODULES = (
     bfs,
     btree,
     stride,
+    chase,
     hotspot,
     kmeans,
     spmv,

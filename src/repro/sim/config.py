@@ -119,6 +119,17 @@ class GPUConfig:
     #: The sanitizer, fault injection, and tracers pin the reference path
     #: regardless of this flag, since they observe individual cycles.
     fast_forward: bool = True
+    #: Simulation engine: "serial" (the historical single-loop engine) or
+    #: "parallel" (the sharded epoch engine in :mod:`repro.sim.parallel`,
+    #: byte-identical stats, faster on multi-SM configs).  The parallel
+    #: engine falls back to serial whenever a feature pins per-cycle
+    #: observation (sanitizer, fault plans, tracers) or the epoch length
+    #: would be degenerate for the configured latencies.
+    engine: str = "serial"
+    #: Worker shards for the parallel engine: 1 runs every shard inline in
+    #: this process (no IPC; still gains per-SM epoch fast-forwarding),
+    #: >1 forks that many worker processes, each owning a slice of the SMs.
+    sim_jobs: int = 1
 
     # ---- robustness ---------------------------------------------------------
     #: Run the per-cycle invariant sanitizer (see :mod:`repro.sim.sanitizer`).
@@ -137,13 +148,19 @@ class GPUConfig:
 
     def latency_for(self, op_class: OpClass) -> int:
         """Dependency-visible latency for a non-memory op class."""
-        return {
-            OpClass.ALU: self.lat_alu,
-            OpClass.MUL: self.lat_mul,
-            OpClass.FPU: self.lat_fpu,
-            OpClass.SFU: self.lat_sfu,
-            OpClass.CTRL: 1,
-        }[op_class]
+        # Built lazily and stored outside the dataclass fields: this sits
+        # on the per-instruction issue path, and the latencies are fixed
+        # once a config is in use (``with_`` builds a fresh instance).
+        table = self.__dict__.get("_lat_table")
+        if table is None:
+            table = self.__dict__["_lat_table"] = {
+                OpClass.ALU: self.lat_alu,
+                OpClass.MUL: self.lat_mul,
+                OpClass.FPU: self.lat_fpu,
+                OpClass.SFU: self.lat_sfu,
+                OpClass.CTRL: 1,
+            }
+        return table[op_class]
 
     def with_(self, **overrides) -> "GPUConfig":
         """A copy of this config with ``overrides`` applied."""
@@ -161,6 +178,9 @@ class GPUConfig:
         return cycles
 
     def validate(self) -> None:
+        # Drop the memoized latency table in case fields were mutated in
+        # place between validations (tests do this; real callers use with_).
+        self.__dict__.pop("_lat_table", None)
         if self.warp_size <= 0 or self.warp_size > 32:
             raise ValueError("warp_size must be in 1..32")
         if self.num_sms <= 0:
@@ -181,6 +201,10 @@ class GPUConfig:
             raise ValueError("progress_window must be >= 0 (0 disables)")
         if self.max_pending_latency <= 0:
             raise ValueError("max_pending_latency must be positive")
+        if self.engine not in ("serial", "parallel"):
+            raise ValueError(f"unknown engine {self.engine!r}; choose 'serial' or 'parallel'")
+        if self.sim_jobs <= 0:
+            raise ValueError("sim_jobs must be >= 1")
 
 
 def fermi_config(**overrides) -> GPUConfig:

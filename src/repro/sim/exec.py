@@ -75,28 +75,62 @@ _CMP = {
 }
 
 
-def _read(warp: Warp, operand, lanes: np.ndarray) -> np.ndarray:
-    """Read an operand's value for the selected lanes (float64 array)."""
+#: Shared read-only broadcasts of immediates, keyed by (value, lane count):
+#: kernels name few distinct immediates, and consumers never write through
+#: an operand read, so the allocation per executed instruction is avoidable.
+_IMM_CACHE: dict[tuple[float, int], np.ndarray] = {}
+_IMM_INT_CACHE: dict[tuple[float, int], np.ndarray] = {}
+
+
+def _imm_broadcast(value: float, n: int, as_int: bool) -> np.ndarray:
+    cache = _IMM_INT_CACHE if as_int else _IMM_CACHE
+    key = (value, n)
+    arr = cache.get(key)
+    if arr is None:
+        arr = np.full(n, float(value))
+        if as_int:
+            arr = arr.astype(np.int64)
+        arr.setflags(write=False)
+        if len(cache) < 65536:
+            cache[key] = arr
+    return arr
+
+
+def _read(warp: Warp, operand, lanes: np.ndarray, n: int) -> np.ndarray:
+    """Read an operand's value for the selected lanes (float64 array).
+
+    ``n`` is the popcount of ``lanes``.  For a full-mask read the register
+    row is returned as a *view*: no executor mutates an operand array in
+    place (every ALU op allocates its result), so skipping the boolean
+    gather is observationally identical.
+    """
     if isinstance(operand, Reg):
-        return warp.regs[operand.idx][lanes]
+        row = warp.regs[operand.idx]
+        return row if n == 32 else row[lanes]
     if isinstance(operand, Imm):
-        return np.full(int(lanes.sum()), float(operand.value))
+        return _imm_broadcast(operand.value, n, False)
     if isinstance(operand, SReg):
-        return warp.sregs[operand.kind][lanes]
+        row = warp.sregs[operand.kind]
+        return row if n == 32 else row[lanes]
     raise ExecutionError(f"cannot read operand {operand!r}")
 
 
-def _read_int(warp: Warp, operand, lanes: np.ndarray) -> np.ndarray:
-    return _read(warp, operand, lanes).astype(np.int64)
+def _read_int(warp: Warp, operand, lanes: np.ndarray, n: int) -> np.ndarray:
+    if isinstance(operand, Imm):
+        return _imm_broadcast(operand.value, n, True)
+    return _read(warp, operand, lanes, n).astype(np.int64)
 
 
-def _addresses(warp: Warp, ref: MemRef, lanes: np.ndarray) -> np.ndarray:
-    base = warp.regs[ref.base.idx][lanes].astype(np.int64)
+def _addresses(warp: Warp, ref: MemRef, lanes: np.ndarray, n: int) -> np.ndarray:
+    base = _read(warp, ref.base, lanes, n).astype(np.int64)
     return base + ref.offset
 
 
-def _write(warp: Warp, dst: Reg, lanes: np.ndarray, values) -> None:
-    warp.regs[dst.idx][lanes] = values
+def _write(warp: Warp, dst: Reg, lanes: np.ndarray, n: int, values) -> None:
+    if n == 32:
+        warp.regs[dst.idx] = values  # full-mask row assign (copies values)
+    else:
+        warp.regs[dst.idx][lanes] = values
 
 
 def functional_step(warp: Warp, instr, gmem) -> ExecResult:
@@ -114,12 +148,14 @@ def functional_step(warp: Warp, instr, gmem) -> ExecResult:
 
     exec_mask = active
     if instr.pred is not None:
+        # Vectorized predication: evaluate the predicate over all 32 lanes
+        # and AND with the active mask — lanes outside the mask contribute
+        # nothing, so this matches the per-lane gather exactly.
         active_arr = mask_to_array(active)
-        pvals = warp.regs[instr.pred.idx][active_arr] != 0
+        pvals = warp.regs[instr.pred.idx] != 0
         if instr.pred_neg:
             pvals = ~pvals
-        lane_ids = np.flatnonzero(active_arr)[pvals]
-        exec_mask = int(sum(1 << int(i) for i in lane_ids))
+        exec_mask = array_to_mask(active_arr & pvals)
 
     result = ExecResult(exec_mask=exec_mask)
     op = instr.op
@@ -146,69 +182,71 @@ def functional_step(warp: Warp, instr, gmem) -> ExecResult:
         return result
 
     lanes = mask_to_array(exec_mask)
+    n = exec_mask.bit_count()
 
-    if op in _INT_BIN:
-        a = _read_int(warp, instr.srcs[0], lanes)
-        b = _read_int(warp, instr.srcs[1], lanes)
+    int_fn = _INT_BIN.get(op)
+    if int_fn is not None:
+        a = _read_int(warp, instr.srcs[0], lanes, n)
+        b = _read_int(warp, instr.srcs[1], lanes, n)
         if op in (Op.SHL, Op.SHR) and b.size and (b < 0).any():
             raise ExecutionError("negative shift amount")
-        _write(warp, instr.dst, lanes, _INT_BIN[op](a, b).astype(np.float64))
-    elif op in _FLOAT_BIN:
-        a = _read(warp, instr.srcs[0], lanes)
-        b = _read(warp, instr.srcs[1], lanes)
-        _write(warp, instr.dst, lanes, _FLOAT_BIN[op](a, b))
+        _write(warp, instr.dst, lanes, n, int_fn(a, b).astype(np.float64))
+    elif (float_fn := _FLOAT_BIN.get(op)) is not None:
+        a = _read(warp, instr.srcs[0], lanes, n)
+        b = _read(warp, instr.srcs[1], lanes, n)
+        _write(warp, instr.dst, lanes, n, float_fn(a, b))
     elif op is Op.IMAD:
-        a = _read_int(warp, instr.srcs[0], lanes)
-        b = _read_int(warp, instr.srcs[1], lanes)
-        c = _read_int(warp, instr.srcs[2], lanes)
-        _write(warp, instr.dst, lanes, (a * b + c).astype(np.float64))
+        a = _read_int(warp, instr.srcs[0], lanes, n)
+        b = _read_int(warp, instr.srcs[1], lanes, n)
+        c = _read_int(warp, instr.srcs[2], lanes, n)
+        _write(warp, instr.dst, lanes, n, (a * b + c).astype(np.float64))
     elif op is Op.FFMA:
-        a = _read(warp, instr.srcs[0], lanes)
-        b = _read(warp, instr.srcs[1], lanes)
-        c = _read(warp, instr.srcs[2], lanes)
-        _write(warp, instr.dst, lanes, a * b + c)
+        a = _read(warp, instr.srcs[0], lanes, n)
+        b = _read(warp, instr.srcs[1], lanes, n)
+        c = _read(warp, instr.srcs[2], lanes, n)
+        _write(warp, instr.dst, lanes, n, a * b + c)
     elif op in (Op.IDIV, Op.IREM):
-        a = _read_int(warp, instr.srcs[0], lanes)
-        b = _read_int(warp, instr.srcs[1], lanes)
+        a = _read_int(warp, instr.srcs[0], lanes, n)
+        b = _read_int(warp, instr.srcs[1], lanes, n)
         if b.size and (b == 0).any():
             raise ExecutionError("integer division by zero")
         quotient = np.trunc(a / b).astype(np.int64)  # C-style truncation
         value = quotient if op is Op.IDIV else a - quotient * b
-        _write(warp, instr.dst, lanes, value.astype(np.float64))
+        _write(warp, instr.dst, lanes, n, value.astype(np.float64))
     elif op is Op.FDIV:
-        a = _read(warp, instr.srcs[0], lanes)
-        b = _read(warp, instr.srcs[1], lanes)
+        a = _read(warp, instr.srcs[0], lanes, n)
+        b = _read(warp, instr.srcs[1], lanes, n)
         if b.size and (b == 0).any():
             raise ExecutionError("float division by zero")
-        _write(warp, instr.dst, lanes, a / b)
+        _write(warp, instr.dst, lanes, n, a / b)
     elif op is Op.FSQRT:
-        a = _read(warp, instr.srcs[0], lanes)
+        a = _read(warp, instr.srcs[0], lanes, n)
         if a.size and (a < 0).any():
             raise ExecutionError("sqrt of negative value")
-        _write(warp, instr.dst, lanes, np.sqrt(a))
+        _write(warp, instr.dst, lanes, n, np.sqrt(a))
     elif op is Op.FEXP:
-        _write(warp, instr.dst, lanes, np.exp(_read(warp, instr.srcs[0], lanes)))
+        _write(warp, instr.dst, lanes, n, np.exp(_read(warp, instr.srcs[0], lanes, n)))
     elif op is Op.FABS:
-        _write(warp, instr.dst, lanes, np.abs(_read(warp, instr.srcs[0], lanes)))
+        _write(warp, instr.dst, lanes, n, np.abs(_read(warp, instr.srcs[0], lanes, n)))
     elif op is Op.I2F:
-        _write(warp, instr.dst, lanes, _read_int(warp, instr.srcs[0], lanes).astype(np.float64))
+        _write(warp, instr.dst, lanes, n, _read_int(warp, instr.srcs[0], lanes, n).astype(np.float64))
     elif op is Op.F2I:
-        _write(warp, instr.dst, lanes, np.trunc(_read(warp, instr.srcs[0], lanes)))
+        _write(warp, instr.dst, lanes, n, np.trunc(_read(warp, instr.srcs[0], lanes, n)))
     elif op is Op.MOV:
-        _write(warp, instr.dst, lanes, _read(warp, instr.srcs[0], lanes))
+        _write(warp, instr.dst, lanes, n, _read(warp, instr.srcs[0], lanes, n))
     elif op is Op.S2R:
-        _write(warp, instr.dst, lanes, _read(warp, instr.srcs[0], lanes))
+        _write(warp, instr.dst, lanes, n, _read(warp, instr.srcs[0], lanes, n))
     elif op is Op.SEL:
-        c = _read(warp, instr.srcs[0], lanes)
-        a = _read(warp, instr.srcs[1], lanes)
-        b = _read(warp, instr.srcs[2], lanes)
-        _write(warp, instr.dst, lanes, np.where(c != 0, a, b))
+        c = _read(warp, instr.srcs[0], lanes, n)
+        a = _read(warp, instr.srcs[1], lanes, n)
+        b = _read(warp, instr.srcs[2], lanes, n)
+        _write(warp, instr.dst, lanes, n, np.where(c != 0, a, b))
     elif op is Op.SETP:
-        a = _read(warp, instr.srcs[0], lanes)
-        b = _read(warp, instr.srcs[1], lanes)
-        _write(warp, instr.dst, lanes, _CMP[instr.cmp](a, b).astype(np.float64))
+        a = _read(warp, instr.srcs[0], lanes, n)
+        b = _read(warp, instr.srcs[1], lanes, n)
+        _write(warp, instr.dst, lanes, n, _CMP[instr.cmp](a, b).astype(np.float64))
     elif op in (Op.LDG, Op.STG, Op.LDS, Op.STS, Op.ATOMG_ADD, Op.ATOMS_ADD, Op.ATOMG_MAX):
-        _exec_memory(warp, instr, lanes, gmem, result)
+        _exec_memory(warp, instr, lanes, n, gmem, result)
     else:  # pragma: no cover - exhaustive over Op
         raise ExecutionError(f"unhandled opcode {op}")
 
@@ -216,33 +254,39 @@ def functional_step(warp: Warp, instr, gmem) -> ExecResult:
     return result
 
 
-def _exec_memory(warp: Warp, instr, lanes: np.ndarray, gmem, result: ExecResult) -> None:
+def _exec_memory(warp: Warp, instr, lanes: np.ndarray, n: int, gmem, result: ExecResult) -> None:
     op = instr.op
     ref = instr.srcs[0]
-    addrs = _addresses(warp, ref, lanes)
+    addrs = _addresses(warp, ref, lanes, n)
     smem = warp.cta.smem
     if op is Op.LDG:
-        _write(warp, instr.dst, lanes, gmem.load(addrs))
+        _write(warp, instr.dst, lanes, n, gmem.load(addrs))
         result.mem_space = "global"
     elif op is Op.STG:
-        gmem.store(addrs, _read(warp, instr.srcs[1], lanes))
+        gmem.store(addrs, _read(warp, instr.srcs[1], lanes, n))
         result.mem_space, result.is_store = "global", True
     elif op is Op.LDS:
-        _write(warp, instr.dst, lanes, smem.load(addrs))
+        _write(warp, instr.dst, lanes, n, smem.load(addrs))
         result.mem_space = "shared"
     elif op is Op.STS:
-        smem.store(addrs, _read(warp, instr.srcs[1], lanes))
+        smem.store(addrs, _read(warp, instr.srcs[1], lanes, n))
         result.mem_space, result.is_store = "shared", True
     elif op is Op.ATOMG_ADD:
-        _write(warp, instr.dst, lanes, gmem.atomic_add(addrs, _read(warp, instr.srcs[1], lanes)))
+        _write(warp, instr.dst, lanes, n, gmem.atomic_add(addrs, _read(warp, instr.srcs[1], lanes, n)))
         result.mem_space, result.is_atomic = "global", True
     elif op is Op.ATOMG_MAX:
-        _write(warp, instr.dst, lanes, gmem.atomic_max(addrs, _read(warp, instr.srcs[1], lanes)))
+        _write(warp, instr.dst, lanes, n, gmem.atomic_max(addrs, _read(warp, instr.srcs[1], lanes, n)))
         result.mem_space, result.is_atomic = "global", True
     elif op is Op.ATOMS_ADD:
-        _write(warp, instr.dst, lanes, smem.atomic_add(addrs, _read(warp, instr.srcs[1], lanes)))
+        _write(warp, instr.dst, lanes, n, smem.atomic_add(addrs, _read(warp, instr.srcs[1], lanes, n)))
         result.mem_space, result.is_atomic = "shared", True
     result.addresses = addrs
+    if result.is_atomic and result.mem_space == "global":
+        # Parallel-engine tap: a deferring gmem proxy needs (warp, dst,
+        # lanes) to patch the true old values in at the epoch barrier.
+        note = getattr(gmem, "note_atomic_target", None)
+        if note is not None:
+            note(warp, instr.dst, lanes)
 
 
 def _exec_branch(warp: Warp, instr, active: int) -> ExecResult:

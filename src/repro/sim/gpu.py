@@ -106,6 +106,20 @@ class GPU:
         self._check_kernel_fits(kernel)
 
         gmem = gmem if gmem is not None else GlobalMemory(line_bytes=cfg.line_bytes)
+        limit = max_cycles if max_cycles is not None else cfg.max_cycles
+        if (cfg.engine == "parallel" and tracer is None and faults is None
+                and not cfg.sanitize):
+            # The sharded epoch engine (byte-identical stats; see
+            # repro.sim.parallel).  Anything observing individual cycles
+            # pins the serial engine, and the parallel engine itself may
+            # decline (degenerate epoch, cross-SM conflict, dead worker) —
+            # None means "run serially", with gmem restored.
+            from repro.sim.parallel import try_parallel_launch
+
+            result = try_parallel_launch(
+                cfg, kernel, grid, gmem, params, limit, total_ctas)
+            if result is not None:
+                return result
         memory_model = MemoryModel(cfg)
         factory = _manager_factory(cfg.arch)
         sanitizer = Sanitizer(cfg) if cfg.sanitize else None
@@ -116,7 +130,6 @@ class GPU:
         for sm in sms:
             sm.gmem = gmem
 
-        limit = max_cycles if max_cycles is not None else cfg.max_cycles
         progress = ProgressTracker(cfg.progress_window)
         # The fast-forward engine skips provably-dead cycles; anything that
         # observes individual cycles (sanitizer, fault plans, tracers) pins

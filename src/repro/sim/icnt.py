@@ -23,3 +23,14 @@ class Link:
         self._next_free = start + self.service_cycles
         self.packets += 1
         return start + self.latency
+
+    @property
+    def min_traversal(self) -> int:
+        """Lower bound on ``traverse(now) - now``: the fixed latency, with
+        zero queueing.  Queueing only ever *delays* arrival (``start >=
+        now``), never accelerates it — the invariant
+        ``repro.sim.memsys.min_cross_rtt`` builds the parallel engine's
+        epoch bound on.  Any future link feature that could undercut the
+        fixed latency (cut-through, speculation) must lower this bound
+        with it."""
+        return self.latency

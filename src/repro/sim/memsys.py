@@ -25,6 +25,15 @@ from repro.sim.dram import DramModel
 from repro.sim.icnt import Link
 
 
+def min_cross_rtt(cfg) -> int:
+    """Lower bound on the SM -> L2 -> SM round trip: request link + L2 hit
+    + response link with zero queueing (``Link.min_traversal`` each way).
+    No read issued at cycle ``t`` can complete before
+    ``t + min_cross_rtt(cfg)``, which is what bounds the parallel
+    engine's epoch length (see :mod:`repro.sim.parallel`)."""
+    return 2 * cfg.icnt_latency + cfg.l2_hit_latency
+
+
 class MemoryModel:
     """Partitioned L2 + DRAM behind per-partition interconnect links."""
 

@@ -38,24 +38,23 @@ class Scoreboard:
         sources and the destination are checked: the destination must be
         free to preserve in-order write semantics (WAW) within a warp.
         """
-        if not self._pending:
-            return now, False
-        self._purge(now)
-        if not self._pending:
+        pending = self._pending
+        if not pending:
             return now, False
         latest = now
         any_global = False
-        regs = instr.src_regs()
-        dst = instr.dst_reg()
-        if dst is not None:
-            regs.append(dst)
-        for reg in regs:
-            entry = self._pending.get(reg)
-            if entry is not None and entry[0] > latest:
+        # Expired entries are skipped in place rather than purged: the dict
+        # is bounded by the registers the kernel ever writes, and skipping
+        # matches what purge-then-scan computed.
+        for reg in instr._hazard_regs:
+            entry = pending.get(reg)
+            if entry is None or entry[0] <= now:
+                continue
+            if entry[0] > latest:
                 latest = entry[0]
                 # classify by the *latest* blocker: it dominates the stall
                 any_global = entry[1]
-            elif entry is not None and entry[1]:
+            elif entry[1]:
                 any_global = True
         return latest, any_global
 

@@ -67,11 +67,23 @@ class SMCore:
         self.allow_fast = False
         self.next_wake = 0
         self._idle_kind = "empty"
+        self._scan_cycle = 0  # cycle of the scan that produced next_wake
+        # Occupancy-sample cache: the four sampled counts are functions of
+        # manager state, which only changes in a full step or on assign —
+        # both invalidate the cache — so every sample inside a dead span
+        # reuses one computation (the counts are provably constant there,
+        # the same argument that lets fast_forward multiply by ``samples``).
+        self._occ_cache = None
+        # Parallel-engine tap (see repro.sim.parallel): when set, every
+        # global-load group is reported so epoch-deferred completions can be
+        # patched to their exact values at the next shard barrier.
+        self._defer = None
 
     # -- CTA lifecycle -------------------------------------------------------
 
     def assign_cta(self, cta: CTA, now: int) -> None:
         self.next_wake = 0  # new CTA: the cached dead-cycle horizon is stale
+        self._occ_cache = None
         self.manager.on_assign(cta, now)
         for warp in cta.warps:
             self.schedulers[self._next_sched].add_warp(warp)
@@ -153,8 +165,8 @@ class SMCore:
         warp.instructions_issued += 1
         self.stats.instructions += 1
         self.stats.thread_instructions += result.lanes
-        class_key = instr.info.op_class.value
         by_class = self.stats.instructions_by_class
+        class_key = instr._class_key
         by_class[class_key] = by_class.get(class_key, 0) + 1
 
         info = instr.info
@@ -199,10 +211,21 @@ class SMCore:
             return
         access = self.l1.atomic if instr.info.is_atomic else self.l1.read
         ready = now
-        for i, line in enumerate(lines):
-            completion = access(line, now + i)
-            if completion > ready:
-                ready = completion
+        if self._defer is None:
+            for i, line in enumerate(lines):
+                completion = access(line, now + i)
+                if completion > ready:
+                    ready = completion
+        else:
+            completions = []
+            for i, line in enumerate(lines):
+                completion = access(line, now + i)
+                completions.append(completion)
+                if completion > ready:
+                    ready = completion
+            self._defer.note_load(
+                warp, instr.dst.idx if instr.dst is not None else None,
+                now, completions)
         horizon = min(ready, now + self.cfg.max_pending_latency)
         if horizon > self.mem_horizon:
             self.mem_horizon = horizon
@@ -241,6 +264,7 @@ class SMCore:
                 stats.swap_busy_cycles += 1
             return 0
         stats.cycles += 1
+        self._occ_cache = None  # a live cycle may change any sampled count
         self.manager.update(now, lambda warp: self._status(warp, now))
 
         issued = 0
@@ -265,6 +289,7 @@ class SMCore:
                 kind, event = self._dead_scan(now)
                 self._idle_kind = kind
                 self.next_wake = event
+                self._scan_cycle = now
             else:
                 kind = self._idle_class(now)
             stats.add_idle(kind, 1)
@@ -272,13 +297,28 @@ class SMCore:
             self.sanitizer.check_sm(self, now)
         return issued
 
+    def _occ_values(self, now: int) -> tuple[int, int, int, int]:
+        """The four occupancy-sample counts at ``now``, cached across dead
+        spans (any step that could change them clears the cache first)."""
+        values = self._occ_cache
+        if values is None:
+            manager = self.manager
+            values = self._occ_cache = (
+                len(manager.resident),
+                manager.active_cta_count,
+                manager.resident_warp_count(),
+                manager.schedulable_warp_count(now),
+            )
+        return values
+
     def _sample_occupancy(self, now: int) -> None:
-        manager = self.manager
-        self.stats.occupancy_samples += 1
-        self.stats.resident_cta_samples += len(manager.resident)
-        self.stats.active_cta_samples += manager.active_cta_count
-        self.stats.resident_warp_samples += manager.resident_warp_count()
-        self.stats.schedulable_warp_samples += manager.schedulable_warp_count(now)
+        resident, active, warps, schedulable = self._occ_values(now)
+        stats = self.stats
+        stats.occupancy_samples += 1
+        stats.resident_cta_samples += resident
+        stats.active_cta_samples += active
+        stats.resident_warp_samples += warps
+        stats.schedulable_warp_samples += schedulable
 
     def _idle_class(self, now: int) -> str:
         """Idle-classification key for a zero-issue cycle at ``now`` (one of
@@ -370,6 +410,19 @@ class SMCore:
             kind = "empty"
         return kind, event
 
+    def reprime_after_patch(self) -> None:
+        """Recompute ``(idle kind, next_wake)`` after an epoch-boundary
+        completion patch (parallel engine only).
+
+        The SM's state has been frozen since the zero-issue step at
+        ``_scan_cycle`` (every later cycle took the O(1) dead path), so
+        re-running the scan *as of that cycle* against the now-exact
+        scoreboard/MSHR values reproduces exactly what the serial engine's
+        scan computed there."""
+        kind, event = self._dead_scan(self._scan_cycle)
+        self._idle_kind = kind
+        self.next_wake = event
+
     def _ready_wake(self, warp, now: int) -> int:
         """When a READY-but-unissued warp's structural hazard clears."""
         instr = warp.cta.kernel.instrs[warp.pc]
@@ -404,12 +457,12 @@ class SMCore:
         stats.issue_slots += len(self.schedulers) * span
         samples = (stop - 1) // _OCCUPANCY_STRIDE - (start - 1) // _OCCUPANCY_STRIDE
         if samples:
+            resident, active, warps, schedulable = self._occ_values(start)
             stats.occupancy_samples += samples
-            stats.resident_cta_samples += samples * len(manager.resident)
-            stats.active_cta_samples += samples * manager.active_cta_count
-            stats.resident_warp_samples += samples * manager.resident_warp_count()
-            stats.schedulable_warp_samples += (
-                samples * manager.schedulable_warp_count(start))
+            stats.resident_cta_samples += samples * resident
+            stats.active_cta_samples += samples * active
+            stats.resident_warp_samples += samples * warps
+            stats.schedulable_warp_samples += samples * schedulable
         stats.add_idle(self._idle_kind, span)
         if manager.swap_in_flight():
             # update() adds one busy cycle per cycle while a switch phase

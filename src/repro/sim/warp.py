@@ -21,9 +21,23 @@ _LANE_POWERS = (np.uint64(1) << _LANE_BITS).astype(np.uint64)
 FULL_MASK = (1 << 32) - 1
 
 
+_MASK_CACHE: dict[int, np.ndarray] = {}
+
+
 def mask_to_array(mask: int) -> np.ndarray:
-    """32-bit int mask -> boolean lane array."""
-    return (np.uint64(mask) >> _LANE_BITS & np.uint64(1)).astype(bool)
+    """32-bit int mask -> boolean lane array.
+
+    Returns a shared read-only array: masks repeat heavily (a uniform warp
+    presents the full mask on every instruction), and every consumer either
+    fancy-indexes with it or derives a fresh array from it.
+    """
+    arr = _MASK_CACHE.get(mask)
+    if arr is None:
+        arr = (np.uint64(mask) >> _LANE_BITS & np.uint64(1)).astype(bool)
+        arr.setflags(write=False)
+        if len(_MASK_CACHE) < 65536:
+            _MASK_CACHE[mask] = arr
+    return arr
 
 
 def array_to_mask(arr: np.ndarray) -> int:

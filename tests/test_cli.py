@@ -383,7 +383,7 @@ def test_lint_all_json_is_parseable(capsys):
     code, out, _err = run_cli(capsys, "lint", "--all", "--format", "json")
     assert code == 0
     reports = json.loads(out)
-    assert len(reports) == 21
+    assert len(reports) == 22
     assert all(r["ok"] for r in reports)
 
 

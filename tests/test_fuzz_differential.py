@@ -19,7 +19,7 @@ def test_clean_case_runs_every_leg():
     assert result.ok, result.summary()
     assert set(result.legs) == {
         f"{arch}/{leg}" for arch in ("baseline", "vt")
-        for leg in ("reference", "fast-forward", "sanitize")}
+        for leg in ("reference", "fast-forward", "sanitize", "parallel")}
     assert all(info["status"] == "ok" for info in result.legs.values())
     assert result.instructions > 0
     assert result.ref_stats is not None

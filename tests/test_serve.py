@@ -37,6 +37,23 @@ def test_parse_request_builds_the_right_cell():
     assert cell.workload_seed == 3
 
 
+def test_parse_request_routes_to_parallel_engine():
+    """`engine`/`sim_jobs` are plain GPUConfig fields, so a serve job can
+    request the sharded engine through the generic override path — and
+    must produce stats byte-identical to the serial cell."""
+    from repro.analysis.runner import run_benchmark
+    from repro.kernels import get
+
+    cell = parse_request({"benchmark": "vecadd", "sms": 4, "scale": 0.25,
+                          "engine": "parallel", "sim_jobs": 2})
+    assert cell.cfg.engine == "parallel"
+    assert cell.cfg.sim_jobs == 2
+    par = run_benchmark(get("vecadd"), cell.cfg, scale=cell.scale)
+    ref = run_benchmark(get("vecadd"), cell.cfg.with_(engine="serial"),
+                        scale=cell.scale)
+    assert par.stats.to_dict() == ref.stats.to_dict()
+
+
 def test_parse_request_fingerprint_matches_sweep_fingerprint():
     # A serve job and a sweep cell for the same work must share a cache key.
     from repro.analysis.journal import cell_fingerprint
