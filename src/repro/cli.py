@@ -23,6 +23,10 @@ Commands:
 * ``predict [BENCH]`` — static performance oracle: limiter, idle-cycle
   class, VT tier; ``--check`` simulates every cell and fails on any
   prediction/measurement disagreement (the CI agreement gate).
+* ``selfcheck [ROOT]`` — AST static analyzer over the simulator's own
+  sources: shard-isolation race detection, determinism lint, and
+  serialization schema-drift checks (``--strict``, ``--format json``,
+  ``--baseline FILE``).
 
 Failures exit cleanly: simulation timeouts and deadlocks print a one-line
 error plus the path of the forensic dump (exit 1) instead of a traceback,
@@ -428,6 +432,35 @@ def cmd_lint(args) -> int:
     return 0
 
 
+def cmd_selfcheck(args) -> int:
+    import json
+    from pathlib import Path
+
+    import repro
+    from repro.selfcheck import run_selfcheck
+
+    root = Path(args.root) if args.root else Path(repro.__file__).parent
+    if not root.is_dir():
+        print(f"error: not a directory: {root}", file=sys.stderr)
+        return 2
+    baseline = args.baseline
+    if baseline is None and args.root is None:
+        # Default baseline for the in-repo tree, when present.
+        candidate = root.parent.parent / "selfcheck-baseline.json"
+        if candidate.is_file():
+            baseline = candidate
+    try:
+        report = run_selfcheck(root, baseline=baseline)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_dict(strict=args.strict), indent=2))
+    else:
+        print(report.render_table(strict=args.strict))
+    return 0 if report.ok(strict=args.strict) else 1
+
+
 def cmd_predict(args) -> int:
     import json
 
@@ -732,6 +765,24 @@ def build_parser() -> argparse.ArgumentParser:
     pred_p.add_argument("--format", choices=("table", "json"), default="table",
                         help="machine-readable JSON instead of tables")
     pred_p.set_defaults(fn=cmd_predict)
+
+    self_p = sub.add_parser(
+        "selfcheck", help="static analyzer over the simulator's own "
+                          "sources: shard isolation, determinism, and "
+                          "serialization schema integrity")
+    self_p.add_argument("root", nargs="?", default=None,
+                        help="source tree to analyze (default: the "
+                             "installed repro package)")
+    self_p.add_argument("--strict", action="store_true",
+                        help="fail on warnings as well as errors")
+    self_p.add_argument("--baseline", default=None,
+                        help="justified-findings baseline JSON (default: "
+                             "selfcheck-baseline.json beside src/ when "
+                             "analyzing the installed package)")
+    self_p.add_argument("--format", choices=("table", "json"),
+                        default="table",
+                        help="machine-readable JSON instead of tables")
+    self_p.set_defaults(fn=cmd_selfcheck)
 
     return parser
 

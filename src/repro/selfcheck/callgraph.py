@@ -1,0 +1,60 @@
+"""Interprocedural call graph construction from effect summaries.
+
+Edges come in two strengths, mirroring how much the receiver is known:
+
+* **resolved** — direct function calls, constructor calls, and method
+  calls whose receiver type was inferred (``self``, constructor-typed
+  attributes, annotated parameters);
+* **duck** — attribute calls on unknown receivers, expanded to every
+  project class that defines the method.
+
+The graph keeps both edge sets: reachability for the isolation and
+determinism path rules uses resolved ∪ duck (over-approximate, hence
+sound for "nothing bad is reachable" claims), while the sentinel-mirror
+check inspects the duck *candidate sets* at each call site directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.selfcheck.effects import Effects
+from repro.selfcheck.project import Project
+
+
+@dataclass
+class CallGraph:
+    """Caller -> callee qualname edges plus per-function effects."""
+
+    project: Project
+    effects: dict[str, Effects]
+    edges: dict[str, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, project: Project, effects: dict[str, Effects]) -> "CallGraph":
+        graph = cls(project=project, effects=effects)
+        known = set(project.functions)
+        for qual, eff in effects.items():
+            out: set[str] = set()
+            for call in eff.calls:
+                for target in call.targets:
+                    if target in known:
+                        out.add(target)
+            graph.edges[qual] = out
+        return graph
+
+    def entry_qualnames(self, *, functions=(), classes=(),
+                        module_prefixes=(), modules=()) -> list[str]:
+        """Qualnames matching any of the entry specs: bare function
+        names, class names (every method), or module name prefixes."""
+        out = []
+        for qual, fn in self.project.functions.items():
+            if fn.name in functions and fn.cls is None:
+                out.append(qual)
+            elif fn.cls is not None and fn.cls in classes:
+                out.append(qual)
+            elif module_prefixes and fn.module.startswith(tuple(module_prefixes)):
+                out.append(qual)
+            elif fn.module in modules:
+                out.append(qual)
+        return sorted(set(out))

@@ -1,0 +1,490 @@
+"""Per-function effect summaries extracted from the AST.
+
+For every function in a :class:`~repro.selfcheck.project.Project`,
+:func:`summarize` produces an :class:`Effects` record: the function's
+call sites (resolved where receiver types are known, duck-typed
+candidate sets otherwise), its writes to module-global and class-level
+state, and the determinism-relevant local facts (global-RNG calls,
+wall-clock and environment reads, unordered-set iterations, float
+accumulation over unordered iterations).
+
+These are *local* summaries; the analyses propagate them over the call
+graph with the worklist solver (:mod:`repro.selfcheck.worklist`), the
+same fixpoint shape the ISA-level passes use in
+``repro/isa/analysis/dataflow.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.selfcheck.project import (FunctionInfo, ModuleInfo, Project,
+                                     annotation_name, is_set_expr)
+from repro.selfcheck.registry import (DUCK_EXCLUDE, GLOBAL_STDLIB_RNG,
+                                      MUTATING_METHODS, NUMPY_RNG_ALLOWED,
+                                      ORDER_FREE_CONSUMERS, WALLCLOCK_CALLS)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    lineno: int
+    #: "direct" (resolved module function), "method" (receiver type
+    #: known), "duck" (receiver unknown: candidates by method name),
+    #: "init" (class instantiation)
+    kind: str
+    #: resolved target qualnames ("sim.smcore.SMCore.step"); for duck
+    #: calls this is every project class method with the name
+    targets: tuple[str, ...]
+    #: the attribute/function name at the call site
+    name: str
+    #: candidate receiver class *names* for method/duck calls
+    receiver_classes: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Site:
+    """One effect occurrence: line + human-readable description."""
+
+    lineno: int
+    detail: str
+
+
+@dataclass
+class Effects:
+    """Everything one function does that the analyses care about."""
+
+    fn: FunctionInfo
+    calls: list[CallSite] = field(default_factory=list)
+    global_writes: list[Site] = field(default_factory=list)
+    classvar_writes: list[Site] = field(default_factory=list)
+    instantiates: list[CallSite] = field(default_factory=list)
+    rng: list[Site] = field(default_factory=list)
+    wallclock: list[Site] = field(default_factory=list)
+    env: list[Site] = field(default_factory=list)
+    set_iters: list[Site] = field(default_factory=list)
+    float_accum: list[Site] = field(default_factory=list)
+
+
+class _EffectVisitor(ast.NodeVisitor):
+    """Single pass over one function body (nested defs included: a
+    closure's effects belong to the function that creates it)."""
+
+    def __init__(self, project: Project, mod: ModuleInfo, fn: FunctionInfo):
+        self.project = project
+        self.mod = mod
+        self.fn = fn
+        self.cls = mod.classes.get(fn.cls) if fn.cls else None
+        self.out = Effects(fn=fn)
+        #: local name -> candidate class name (shallow flow)
+        self.local_types: dict[str, str] = {}
+        #: local names currently bound to set values
+        self.set_locals: set[str] = set()
+        self.declared_global: set[str] = set()
+        #: every name bound locally (params, assignments, loop targets) —
+        #: a local shadowing a module-global name is not a global write
+        self.local_names: set[str] = set()
+        args = fn.node.args
+        for arg in (list(args.posonlyargs) + list(args.args)
+                    + list(args.kwonlyargs)
+                    + ([args.vararg] if args.vararg else [])
+                    + ([args.kwarg] if args.kwarg else [])):
+            self.local_names.add(arg.arg)
+            ann = annotation_name(arg.annotation)
+            if ann:
+                self.local_types[arg.arg] = ann
+
+    # -- helpers -------------------------------------------------------------
+
+    def _origin(self, name: str) -> str | None:
+        """Dotted import origin of a top-level name, if imported."""
+        return self.mod.imports.get(name)
+
+    def _is_set(self, node: ast.expr) -> bool:
+        set_attrs = self.cls.set_attrs if self.cls else set()
+        return is_set_expr(node, self.set_locals, set_attrs)
+
+    def _receiver_classes(self, node: ast.expr) -> tuple[str, ...]:
+        """Candidate class names for a call receiver expression."""
+        if isinstance(node, ast.Name):
+            if node.id == "self" and self.cls is not None:
+                return (self.cls.name,)
+            cand = self.local_types.get(node.id)
+            if cand:
+                return (cand,)
+            origin = self._origin(node.id)
+            if origin:
+                leaf = origin.rsplit(".", 1)[-1]
+                if leaf in self.project.classes_by_name:
+                    return (leaf,)  # ClassName.method(...) style
+        elif isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            base, attr = node.value.id, node.attr
+            if base == "self" and self.cls is not None:
+                types = self.cls.attr_types.get(attr)
+                if types:
+                    return tuple(sorted(types))
+            else:
+                cand = self.local_types.get(base)
+                if cand:
+                    cls = self._class_by_name(cand)
+                    if cls is not None:
+                        types = cls.attr_types.get(attr)
+                        if types:
+                            return tuple(sorted(types))
+        return ()
+
+    def _class_by_name(self, name: str):
+        cands = self.project.classes_by_name.get(name)
+        return cands[0] if cands else None
+
+    def _resolve_method(self, cls_name: str, method: str) -> str | None:
+        """Walk the project-visible MRO of ``cls_name`` for ``method``."""
+        seen = set()
+        work = [cls_name]
+        while work:
+            name = work.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            cls = self._class_by_name(name)
+            if cls is None:
+                continue
+            if method in cls.methods:
+                return cls.methods[method].qualname
+            work.extend(cls.bases)
+        return None
+
+    # -- statements ----------------------------------------------------------
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.declared_global.update(node.names)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._note_write_target(target, node.lineno)
+            if isinstance(target, ast.Name):
+                if self._is_set(node.value):
+                    self.set_locals.add(target.id)
+                else:
+                    self.set_locals.discard(target.id)
+                cand = self._value_class(node.value)
+                if cand:
+                    self.local_types[target.id] = cand
+                elif target.id in self.local_types:
+                    del self.local_types[target.id]
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._note_write_target(node.target, node.lineno)
+        if isinstance(node.target, ast.Name):
+            ann = annotation_name(node.annotation)
+            if ann in ("set", "frozenset") or (
+                    node.value is not None and self._is_set(node.value)):
+                self.set_locals.add(node.target.id)
+            if ann and ann in self.project.classes_by_name:
+                self.local_types[node.target.id] = ann
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._note_write_target(node.target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._note_write_target(target, node.lineno)
+        self.generic_visit(node)
+
+    def _value_class(self, value: ast.expr) -> str | None:
+        if isinstance(value, ast.Call):
+            name = None
+            if isinstance(value.func, ast.Name):
+                name = value.func.id
+            elif isinstance(value.func, ast.Attribute):
+                name = value.func.attr
+            if name and name in self.project.classes_by_name:
+                return name
+        elif isinstance(value, ast.Attribute) and isinstance(value.value, ast.Name):
+            # ``sm = core.sm`` — propagate a unique inferred attr type.
+            base = value.value.id
+            owner = None
+            if base == "self" and self.cls is not None:
+                owner = self.cls
+            elif base in self.local_types:
+                owner = self._class_by_name(self.local_types[base])
+            if owner is not None:
+                types = owner.attr_types.get(value.attr)
+                if types and len(types) == 1:
+                    return next(iter(types))
+        return None
+
+    def _note_write_target(self, target: ast.expr, lineno: int) -> None:
+        # Unpacking: recurse into tuple/list targets.
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._note_write_target(element, lineno)
+            return
+        if isinstance(target, ast.Name):
+            if target.id in self.declared_global:
+                self.out.global_writes.append(
+                    Site(lineno, f"assigns module global {target.id!r}"))
+            else:
+                self.local_names.add(target.id)
+            return
+        base = target
+        if isinstance(base, ast.Subscript):
+            base = base.value
+        if isinstance(base, ast.Attribute):
+            owner = base.value
+            if isinstance(owner, ast.Name) and owner.id != "self":
+                origin = self._origin(owner.id)
+                if origin and owner.id not in self.local_names:
+                    leaf = origin.rsplit(".", 1)[-1]
+                    if leaf in self.project.classes_by_name:
+                        self.out.classvar_writes.append(Site(
+                            lineno,
+                            f"writes class attribute {leaf}.{base.attr}"))
+                elif (owner.id in self.mod.classes
+                        and owner.id not in self.local_names):
+                    self.out.classvar_writes.append(Site(
+                        lineno,
+                        f"writes class attribute {owner.id}.{base.attr}"))
+            return
+        if isinstance(base, ast.Name):
+            name = base.id
+            if self._is_module_global(name):
+                self.out.global_writes.append(
+                    Site(lineno, f"mutates module global {name!r}"))
+
+    def _is_module_global(self, name: str) -> bool:
+        """Does ``name`` refer to module-global state in this scope?"""
+        if name in self.declared_global:
+            return True
+        return (name in self.mod.global_names
+                and name not in self.local_names)
+
+    # -- iteration / comprehension -------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        self._bind_target(node.target)
+        self._check_iter(node.iter)
+        if self._is_set(node.iter):
+            for sub in ast.walk(node):
+                if (isinstance(sub, ast.AugAssign)
+                        and isinstance(sub.op, ast.Add)):
+                    self.out.float_accum.append(Site(
+                        sub.lineno,
+                        "accumulation inside a loop over an unordered set"))
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._bind_target(node.target)
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            if item.optional_vars is not None:
+                self._bind_target(item.optional_vars)
+        self.generic_visit(node)
+
+    def _bind_target(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.local_names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element)
+
+    def _check_iter(self, iter_node: ast.expr) -> None:
+        if self._is_set(iter_node):
+            self.out.set_iters.append(Site(
+                iter_node.lineno,
+                f"iterates an unordered set ({ast.unparse(iter_node)})"))
+
+    # -- calls ---------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._classify_call(node)
+        self.generic_visit(node)
+
+    def _classify_call(self, node: ast.Call) -> None:
+        func = node.func
+        lineno = node.lineno
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in ORDER_FREE_CONSUMERS:
+                pass
+            elif name in ("list", "tuple", "iter", "enumerate"):
+                for arg in node.args[:1]:
+                    self._check_iter(arg)
+            elif name == "sum":
+                for arg in node.args[:1]:
+                    if self._is_set(arg):
+                        self.out.float_accum.append(Site(
+                            lineno, f"sum() over an unordered set "
+                                    f"({ast.unparse(arg)})"))
+            origin = self._origin(name)
+            if origin:
+                self._check_imported_call(origin, lineno)
+                leaf = origin.rsplit(".", 1)[-1]
+                if leaf in self.project.classes_by_name:
+                    self._note_init(leaf, lineno)
+                    return
+                target = self._project_function_from_origin(origin)
+                if target:
+                    self.out.calls.append(CallSite(
+                        lineno, "direct", (target,), name))
+                    return
+            if name in self.mod.classes:
+                self._note_init(name, lineno)
+                return
+            if name in self.mod.functions:
+                self.out.calls.append(CallSite(
+                    lineno, "direct",
+                    (self.mod.functions[name].qualname,), name))
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        method = func.attr
+        base = func.value
+        # ``super().m(...)`` — resolve through the class's own bases; never
+        # degrade to a duck call (that would fan out to every same-named
+        # method in the project).
+        if (isinstance(base, ast.Call) and isinstance(base.func, ast.Name)
+                and base.func.id == "super"):
+            if self.cls is not None and self.cls.bases:
+                targets = tuple(
+                    t for t in (self._resolve_method(b, method)
+                                for b in self.cls.bases) if t)
+                if targets:
+                    self.out.calls.append(CallSite(
+                        lineno, "method", targets, method,
+                        tuple(self.cls.bases)))
+            return
+        # module-qualified calls: rng / clock / env / project functions
+        if isinstance(base, ast.Name):
+            origin = self._origin(base.id)
+            if origin is not None and base.id not in self.local_types:
+                self._check_module_attr_call(origin, method, lineno, node)
+                target = self._project_function_from_origin(
+                    f"{origin}.{method}")
+                if target:
+                    self.out.calls.append(CallSite(
+                        lineno, "direct", (target,), method))
+                    return
+        if (isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name)
+                and self._origin(base.value.id) == "numpy"
+                and base.attr == "random"):
+            if method not in NUMPY_RNG_ALLOWED:
+                self.out.rng.append(Site(
+                    lineno, f"legacy numpy global RNG np.random.{method}()"))
+            return
+        if method in MUTATING_METHODS and isinstance(base, ast.Name):
+            if self._is_module_global(base.id):
+                self.out.global_writes.append(Site(
+                    lineno, f"mutates module global {base.id!r} "
+                            f"via .{method}()"))
+        receivers = self._receiver_classes(base)
+        if receivers:
+            targets = []
+            for cls_name in receivers:
+                resolved = self._resolve_method(cls_name, method)
+                if resolved:
+                    targets.append(resolved)
+            if targets:
+                self.out.calls.append(CallSite(
+                    lineno, "method", tuple(targets), method, receivers))
+                return
+        # Duck call: every project method with this name is a candidate.
+        # Dunders and stdlib-container method names are excluded — they
+        # would connect unrelated classes through ``__init__``/``get``.
+        if method in DUCK_EXCLUDE or method.startswith("__"):
+            return
+        cands = self.project.methods_by_name.get(method, ())
+        if cands:
+            self.out.calls.append(CallSite(
+                lineno, "duck",
+                tuple(sorted(m.qualname for m in cands)), method,
+                tuple(sorted({m.cls for m in cands if m.cls}))))
+
+    def _note_init(self, cls_name: str, lineno: int) -> None:
+        init = self._resolve_method(cls_name, "__init__")
+        targets = (init,) if init else ()
+        site = CallSite(lineno, "init", targets, cls_name, (cls_name,))
+        self.out.instantiates.append(site)
+        if targets:
+            self.out.calls.append(site)
+
+    def _project_function_from_origin(self, origin: str) -> str | None:
+        """Map a dotted import origin onto a project function qualname."""
+        parts = origin.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            mod_name = ".".join(parts[:split])
+            leaf = parts[split:]
+            for candidate in self._project_module_names(mod_name):
+                mod = self.project.modules.get(candidate)
+                if mod is None:
+                    continue
+                if len(leaf) == 1 and leaf[0] in mod.functions:
+                    return mod.functions[leaf[0]].qualname
+        return None
+
+    def _project_module_names(self, dotted: str):
+        """The project uses root-relative names; imports use absolute
+        ones (``repro.sim.memsys``).  Try progressively stripped
+        prefixes so both resolve."""
+        parts = dotted.split(".")
+        for start in range(len(parts)):
+            yield ".".join(parts[start:])
+
+    def _check_imported_call(self, origin: str, lineno: int) -> None:
+        """``from random import shuffle; shuffle(...)`` style."""
+        parts = origin.split(".")
+        if len(parts) == 2 and parts[0] == "random" and parts[1] in GLOBAL_STDLIB_RNG:
+            self.out.rng.append(Site(
+                lineno, f"module-global RNG random.{parts[1]}()"))
+        if tuple(parts[-2:]) in WALLCLOCK_CALLS:
+            self.out.wallclock.append(Site(
+                lineno, f"wall-clock read {'.'.join(parts[-2:])}()"))
+        if parts[-1] == "getenv" and parts[0] == "os":
+            self.out.env.append(Site(lineno, "environment read os.getenv()"))
+
+    def _check_module_attr_call(self, origin: str, method: str,
+                                lineno: int, node: ast.Call) -> None:
+        root = origin.split(".")[0]
+        if origin == "random" and method in GLOBAL_STDLIB_RNG:
+            self.out.rng.append(Site(
+                lineno, f"module-global RNG random.{method}()"))
+        elif (root, method) in WALLCLOCK_CALLS or (
+                origin in ("time", "datetime", "datetime.datetime")
+                and (origin.split(".")[-1], method) in WALLCLOCK_CALLS):
+            self.out.wallclock.append(Site(
+                lineno, f"wall-clock read {origin}.{method}()"))
+        elif origin == "os" and method == "getenv":
+            self.out.env.append(Site(lineno, "environment read os.getenv()"))
+
+    # -- os.environ reads ----------------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (node.attr == "environ" and isinstance(node.value, ast.Name)
+                and self._origin(node.value.id) == "os"):
+            self.out.env.append(Site(
+                node.lineno, "environment read os.environ"))
+        self.generic_visit(node)
+
+
+def summarize(project: Project, fn: FunctionInfo) -> Effects:
+    """Local effect summary for one function."""
+    mod = project.modules[fn.module]
+    visitor = _EffectVisitor(project, mod, fn)
+    node = fn.node
+    for stmt in node.body:
+        visitor.visit(stmt)
+    return visitor.out
+
+
+def summarize_all(project: Project) -> dict[str, Effects]:
+    """Effect summaries for every function in the project."""
+    return {qual: summarize(project, fn)
+            for qual, fn in project.functions.items()}

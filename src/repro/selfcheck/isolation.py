@@ -1,0 +1,143 @@
+"""Shard-isolation race detector.
+
+The parallel engine's correctness argument (see ``ARCHITECTURE.md``) is
+an induction over epochs: if every shard worker touches only shard-local
+state during an epoch, and every cross-SM interaction is *recorded* by a
+sentinel (``DeferredMemory`` / ``ShardGmem``) and replayed by the
+coordinator at the epoch boundary, then the fork and inline backends —
+and any shard count — produce bit-identical results.  This analysis
+proves the inductive step statically:
+
+* ``iso-global-write`` — code reachable from a shard-worker entry writes
+  module-global or class-level state;
+* ``iso-shared-call`` — worker-reachable code calls or instantiates a
+  coordinator-shared class (``MemoryModel``, ``ProgressTracker``) through
+  a *typed* receiver;
+* ``iso-unmirrored-call`` — a worker-reachable duck-typed call site could
+  bind a shared class and **no sentinel implements the method**.  This is
+  the teeth of the rule: adding ``MemoryModel.prefetch`` and calling it
+  from the L1 without mirroring it on ``DeferredMemory`` collapses the
+  candidate set to shared-only and fails CI.
+
+Reachability is the bottom-up closure of worker entries over resolved ∪
+duck call edges — over-approximate, hence sound for the "nothing bad is
+reachable" claim.  Each finding carries its shortest call path from an
+entry as evidence.
+"""
+
+from __future__ import annotations
+
+from repro.selfcheck.callgraph import CallGraph
+from repro.selfcheck.registry import (SENTINEL_CLASSES, SHARED_CLASSES,
+                                      WORKER_ENTRY_CLASSES,
+                                      WORKER_ENTRY_FUNCTIONS,
+                                      WORKER_ENTRY_MODULE_LEAF)
+from repro.selfcheck.rules import Finding
+from repro.selfcheck.worklist import (SummaryProblem, reachable_with_paths,
+                                      solve_summaries)
+
+
+class _WriteFootprint(SummaryProblem):
+    """Transitive set of (path, line) state-write sites per function —
+    the worklist instance backing the per-entry summaries in the JSON
+    report (what could this worker entry *eventually* mutate?)."""
+
+    def __init__(self, graph: CallGraph):
+        self.graph = graph
+
+    def init(self, qualname: str) -> frozenset:
+        eff = self.graph.effects.get(qualname)
+        if eff is None:
+            return frozenset()
+        sites = [(eff.fn.path, s.lineno)
+                 for s in eff.global_writes + eff.classvar_writes]
+        return frozenset(sites)
+
+    def meet(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+
+def worker_entries(graph: CallGraph) -> list[str]:
+    entries = graph.entry_qualnames(functions=WORKER_ENTRY_FUNCTIONS,
+                                    classes=WORKER_ENTRY_CLASSES)
+    return [qual for qual in entries
+            if (graph.project.functions[qual].module.rsplit(".", 1)[-1]
+                == WORKER_ENTRY_MODULE_LEAF)]
+
+
+def _worker_edges(graph: CallGraph) -> dict[str, set[str]]:
+    """Call edges for the worker closure: never traverse *into* a
+    shared-class method body.  A typed call to one is already reported at
+    the call site, and a sanctioned duck call binds the sentinel at
+    runtime, so the shared candidate's body is unreachable in a worker."""
+    shared_methods = {
+        qual for qual, fn in graph.project.functions.items()
+        if fn.cls in SHARED_CLASSES}
+    return {qual: targets - shared_methods
+            for qual, targets in graph.edges.items()}
+
+
+def entry_write_summaries(graph: CallGraph) -> dict[str, int]:
+    """Per worker entry: how many distinct state-write sites are
+    transitively reachable (0 everywhere on a clean tree)."""
+    summaries = solve_summaries(_worker_edges(graph), _WriteFootprint(graph))
+    return {entry: len(summaries.get(entry, frozenset()))
+            for entry in worker_entries(graph)}
+
+
+def check_isolation(graph: CallGraph) -> list[Finding]:
+    findings: list[Finding] = []
+    paths = reachable_with_paths(_worker_edges(graph), worker_entries(graph))
+    for qual in sorted(paths):
+        eff = graph.effects.get(qual)
+        if eff is None:
+            continue
+        rel = _relpath(graph, qual)
+        chain = paths[qual]
+        for site in eff.global_writes + eff.classvar_writes:
+            findings.append(Finding(
+                rule="iso-global-write", path=rel, line=site.lineno,
+                qualname=qual,
+                message=f"shard-worker-reachable code {site.detail}",
+                call_path=chain))
+        for call in eff.instantiates:
+            shared = set(call.receiver_classes) & SHARED_CLASSES
+            if shared:
+                findings.append(Finding(
+                    rule="iso-shared-call", path=rel, line=call.lineno,
+                    qualname=qual,
+                    message=(f"worker-reachable code instantiates shared "
+                             f"class {sorted(shared)[0]}"),
+                    call_path=chain))
+        for call in eff.calls:
+            if call.kind == "method":
+                shared = set(call.receiver_classes) & SHARED_CLASSES
+                if shared:
+                    findings.append(Finding(
+                        rule="iso-shared-call", path=rel, line=call.lineno,
+                        qualname=qual,
+                        message=(f"worker-reachable code calls "
+                                 f"{sorted(shared)[0]}.{call.name}() on a "
+                                 f"typed receiver"),
+                        call_path=chain))
+            elif call.kind == "duck":
+                cands = set(call.receiver_classes)
+                if cands & SHARED_CLASSES and not cands & SENTINEL_CLASSES:
+                    shared = sorted(cands & SHARED_CLASSES)[0]
+                    findings.append(Finding(
+                        rule="iso-unmirrored-call", path=rel,
+                        line=call.lineno, qualname=qual,
+                        message=(f".{call.name}() could bind shared class "
+                                 f"{shared} and no sentinel class "
+                                 f"implements {call.name}(); mirror it on "
+                                 f"DeferredMemory/ShardGmem"),
+                        call_path=chain))
+    return findings
+
+
+def _relpath(graph: CallGraph, qual: str) -> str:
+    fn = graph.project.functions[qual]
+    try:
+        return fn.path.relative_to(graph.project.root).as_posix()
+    except ValueError:  # pragma: no cover - fixture roots are self-rooted
+        return fn.path.as_posix()

@@ -1,0 +1,299 @@
+"""AST project model: every module under one root, parsed and indexed.
+
+:class:`Project` loads a source tree (``src/repro`` or a fixture tree)
+with nothing but the stdlib ``ast`` module and builds the tables the
+analyses need:
+
+* modules with their import alias maps and module-global names,
+* classes with base names, methods, dataclass fields, and per-attribute
+  type/set-typedness facts inferred from ``self.x = …`` assignments,
+* a flat function table keyed by dotted qualname
+  (``sim.parallel._Shard.advance``), including methods.
+
+Type inference is deliberately shallow — constructor calls, annotated
+parameters flowing into attributes, and ``self`` — because the analyses
+only need receiver *candidates*, never exact types: an unresolved
+receiver degrades to a duck-typed candidate set, which every rule treats
+conservatively.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+DATACLASS_DECORATORS = {"dataclass", "dataclasses.dataclass"}
+
+
+def _decorator_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        base = _decorator_name(node.value)
+        return f"{base}.{node.attr}" if base else node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def annotation_name(node: ast.expr | None) -> str | None:
+    """Best-effort class name out of an annotation node (``SMCore``,
+    ``"SMCore"``, ``SMCore | None``, ``Optional[SMCore]``)."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # String annotation: take the first identifier.
+        text = node.value.strip().split("|")[0].strip()
+        return text.split("[")[0].strip() or None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return annotation_name(node.left)
+    if isinstance(node, ast.Subscript):
+        base = annotation_name(node.value)
+        if base in ("Optional", "Final", "ClassVar"):
+            return annotation_name(node.slice)
+        return base
+    return None
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method: its AST plus where it lives."""
+
+    qualname: str  # "sim.parallel._Shard.advance"
+    module: str  # "sim.parallel"
+    cls: str | None  # "_Shard" or None for module functions
+    name: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    path: Path
+    lineno: int
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, bases, and inferred attribute facts."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: attr -> candidate class names (from ``self.x = Cls(...)`` and
+    #: ``self.x = param`` with an annotated param)
+    attr_types: dict[str, set[str]] = field(default_factory=dict)
+    #: attrs assigned a set-typed value anywhere in the class
+    set_attrs: set[str] = field(default_factory=set)
+    class_vars: set[str] = field(default_factory=set)
+    is_dataclass: bool = False
+    fields: list[str] = field(default_factory=list)  # dataclass fields
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    name: str  # dotted, relative to the project root
+    path: Path
+    tree: ast.Module
+    source_lines: list[str]
+    #: local alias -> dotted origin ("np" -> "numpy",
+    #: "MemoryModel" -> "repro.sim.memsys.MemoryModel")
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    global_names: set[str] = field(default_factory=set)
+
+
+class Project:
+    """Every module under ``root``, parsed and cross-indexed."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root).resolve()
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.classes_by_name: dict[str, list[ClassInfo]] = {}
+        self.methods_by_name: dict[str, list[FunctionInfo]] = {}
+        self._load()
+
+    # -- loading -------------------------------------------------------------
+
+    def _module_name(self, path: Path) -> str:
+        rel = path.relative_to(self.root).with_suffix("")
+        parts = list(rel.parts)
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts) if parts else "__init__"
+
+    def _load(self) -> None:
+        paths = sorted(self.root.rglob("*.py"))
+        if not paths:
+            raise ValueError(f"no python sources under {self.root}")
+        for path in paths:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+            name = self._module_name(path)
+            mod = ModuleInfo(name=name, path=path, tree=tree,
+                             source_lines=source.splitlines())
+            self._index_module(mod)
+            self.modules[name] = mod
+        # Cross-module indexes.
+        for mod in self.modules.values():
+            for cls in mod.classes.values():
+                self.classes[cls.qualname] = cls
+                self.classes_by_name.setdefault(cls.name, []).append(cls)
+                for method in cls.methods.values():
+                    self.functions[method.qualname] = method
+                    self.methods_by_name.setdefault(method.name, []).append(method)
+            for fn in mod.functions.values():
+                self.functions[fn.qualname] = fn
+
+    def _index_module(self, mod: ModuleInfo) -> None:
+        for node in mod.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    mod.imports[local] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    mod.imports[local] = f"{base}.{alias.name}" if base else alias.name
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{mod.name}.{node.name}"
+                mod.functions[node.name] = FunctionInfo(
+                    qualname=qual, module=mod.name, cls=None, name=node.name,
+                    node=node, path=mod.path, lineno=node.lineno)
+            elif isinstance(node, ast.ClassDef):
+                mod.classes[node.name] = self._index_class(mod, node)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        mod.global_names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                mod.global_names.add(node.target.id)
+
+    def _index_class(self, mod: ModuleInfo, node: ast.ClassDef) -> ClassInfo:
+        cls = ClassInfo(
+            qualname=f"{mod.name}.{node.name}", module=mod.name,
+            name=node.name, node=node,
+            bases=[b for b in (annotation_name(base) for base in node.bases) if b],
+            is_dataclass=any(_decorator_name(d) in DATACLASS_DECORATORS
+                             for d in node.decorator_list),
+        )
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                cls.methods[item.name] = FunctionInfo(
+                    qualname=f"{cls.qualname}.{item.name}", module=mod.name,
+                    cls=cls.name, name=item.name, node=item, path=mod.path,
+                    lineno=item.lineno)
+            elif isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                if cls.is_dataclass:
+                    ann = annotation_name(item.annotation)
+                    if ann == "ClassVar" or (
+                            isinstance(item.annotation, ast.Subscript)
+                            and annotation_name(item.annotation.value) == "ClassVar"):
+                        cls.class_vars.add(item.target.id)
+                    else:
+                        cls.fields.append(item.target.id)
+                else:
+                    cls.class_vars.add(item.target.id)
+            elif isinstance(item, ast.Assign):
+                for target in item.targets:
+                    if isinstance(target, ast.Name):
+                        cls.class_vars.add(target.id)
+        self._infer_attrs(mod, cls)
+        return cls
+
+    # -- shallow attribute inference -----------------------------------------
+
+    def _infer_attrs(self, mod: ModuleInfo, cls: ClassInfo) -> None:
+        """Scan every ``self.x = …`` in the class body for attribute type
+        candidates and set-typedness (constructor calls, annotated params,
+        set displays/calls)."""
+        for method in cls.methods.values():
+            params: dict[str, str] = {}
+            args = method.node.args
+            for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+                ann = annotation_name(arg.annotation)
+                if ann:
+                    params[arg.arg] = ann
+            for sub in ast.walk(method.node):
+                targets: list[ast.expr] = []
+                value: ast.expr | None = None
+                if isinstance(sub, ast.Assign):
+                    targets, value = sub.targets, sub.value
+                elif isinstance(sub, ast.AnnAssign):
+                    targets, value = [sub.target], sub.value
+                    ann = annotation_name(sub.annotation)
+                    if (ann in ("set", "frozenset")
+                            and isinstance(sub.target, ast.Attribute)
+                            and isinstance(sub.target.value, ast.Name)
+                            and sub.target.value.id == "self"):
+                        cls.set_attrs.add(sub.target.attr)
+                for target in targets:
+                    if not (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        continue
+                    attr = target.attr
+                    if value is None:
+                        continue
+                    if is_set_expr(value, set(), cls.set_attrs):
+                        cls.set_attrs.add(attr)
+                    for name in self._value_types(value, params):
+                        cls.attr_types.setdefault(attr, set()).add(name)
+
+    @staticmethod
+    def _value_types(value: ast.expr, params: dict[str, str]) -> list[str]:
+        if isinstance(value, ast.Call):
+            name = None
+            if isinstance(value.func, ast.Name):
+                name = value.func.id
+            elif isinstance(value.func, ast.Attribute):
+                name = value.func.attr
+            if name and name[:1].isupper():  # constructor-looking call
+                return [name]
+        elif isinstance(value, ast.Name) and value.id in params:
+            return [params[value.id]]
+        return []
+
+
+def is_set_expr(node: ast.expr, set_locals: set[str],
+                set_attrs: set[str]) -> bool:
+    """Is ``node`` statically known to evaluate to an unordered set?
+
+    ``set_locals`` are local names currently bound to sets;
+    ``set_attrs`` are ``self.<attr>`` names assigned sets in the class.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute):
+            method = node.func.attr
+            if method in ("union", "intersection", "difference",
+                          "symmetric_difference"):
+                return is_set_expr(node.func.value, set_locals, set_attrs)
+            if method == "copy":
+                return is_set_expr(node.func.value, set_locals, set_attrs)
+            if method == "keys":
+                # dict.keys() is insertion-ordered in py3.7+: NOT a set.
+                return False
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return (is_set_expr(node.left, set_locals, set_attrs)
+                or is_set_expr(node.right, set_locals, set_attrs))
+    if isinstance(node, ast.Name):
+        return node.id in set_locals
+    if (isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr in set_attrs
+    return False

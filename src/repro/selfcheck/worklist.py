@@ -1,0 +1,84 @@
+"""Worklist fixpoint solver over the interprocedural call graph.
+
+The same shape as :func:`repro.isa.analysis.dataflow.solve`, lifted from
+basic blocks to whole functions: a :class:`SummaryProblem` supplies the
+lattice (``init`` / ``meet``) and the transfer (``local`` effects joined
+with callee summaries), and :func:`solve_summaries` iterates to a
+fixpoint over the call-graph edges.  Used by the analyses to propagate
+per-function effect summaries bottom-up (what can this call *eventually*
+do?) without re-walking any AST.
+"""
+
+from __future__ import annotations
+
+
+class SummaryProblem:
+    """One bottom-up summary analysis over the call graph."""
+
+    def init(self, qualname: str):
+        """The summary before any propagation (usually the local facts)."""
+        raise NotImplementedError
+
+    def meet(self, a, b):
+        """Join a callee's summary into a caller's."""
+        raise NotImplementedError
+
+
+def solve_summaries(edges: dict[str, set[str]], problem: SummaryProblem) -> dict:
+    """Fixpoint of ``summary(f) = init(f) ⊔ ⨆ summary(callee)``.
+
+    ``edges`` maps caller qualname -> callee qualnames.  Facts must be
+    immutable values with ``==`` (frozensets work well); ``meet`` returns
+    a new fact.  Recursive cycles converge because the lattice only grows
+    and ``meet`` is monotone — the identical argument to the ISA dataflow
+    solver's termination.
+    """
+    summaries = {qual: problem.init(qual) for qual in edges}
+    callers: dict[str, set[str]] = {qual: set() for qual in edges}
+    for caller, callees in edges.items():
+        for callee in callees:
+            if callee in callers:
+                callers[callee].add(caller)
+    work = list(edges)
+    in_work = set(work)
+    iterations = 0
+    limit = max(64, 16 * len(edges))
+    while work:
+        iterations += 1
+        if iterations > limit * 8:  # pragma: no cover - safety net
+            raise RuntimeError("summary solve did not converge")
+        qual = work.pop(0)
+        in_work.discard(qual)
+        fact = problem.init(qual)
+        for callee in edges.get(qual, ()):
+            callee_fact = summaries.get(callee)
+            if callee_fact is not None:
+                fact = problem.meet(fact, callee_fact)
+        if fact != summaries[qual]:
+            summaries[qual] = fact
+            for caller in callers.get(qual, ()):
+                if caller not in in_work:
+                    work.append(caller)
+                    in_work.add(caller)
+    return summaries
+
+
+def reachable_with_paths(edges: dict[str, set[str]],
+                         entries) -> dict[str, list[str]]:
+    """BFS closure of ``entries`` over ``edges``; maps every reachable
+    qualname to one shortest call path ``[entry, …, qualname]`` — the
+    evidence chain reported with path-sensitive findings."""
+    paths: dict[str, list[str]] = {}
+    queue = []
+    for entry in entries:
+        if entry in edges and entry not in paths:
+            paths[entry] = [entry]
+            queue.append(entry)
+    while queue:
+        qual = queue.pop(0)
+        base = paths[qual]
+        for callee in sorted(edges.get(qual, ())):
+            if callee not in paths:
+                paths[callee] = base + [callee]
+                queue.append(callee)
+    return paths

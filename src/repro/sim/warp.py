@@ -36,6 +36,7 @@ def mask_to_array(mask: int) -> np.ndarray:
         arr = (np.uint64(mask) >> _LANE_BITS & np.uint64(1)).astype(bool)
         arr.setflags(write=False)
         if len(_MASK_CACHE) < 65536:
+            # selfcheck: ok[iso-global-write] -- pure memo: idempotent writes of a deterministic function of the key; fork workers fill private copies, inline sharing is benign
             _MASK_CACHE[mask] = arr
     return arr
 

@@ -107,6 +107,7 @@ class StoreEntry:
     checksum: str = ""
     path: str | None = None
 
+    # selfcheck: ok[schema-field-coverage] -- checksum/path are envelope metadata: the checksum is computed over this payload and the path is derived from the fingerprint
     def payload(self) -> dict:
         return {
             "fingerprint": self.fingerprint,

@@ -1,0 +1,54 @@
+"""Planted isolation violations: a shard worker that touches shared state.
+
+Mirrors the shape of ``repro.sim.parallel`` just enough for the entry
+registry (module named ``parallel``, a ``_Shard`` class, a shared
+``MemoryModel``, a sentinel ``DeferredMemory``) — never imported.
+"""
+
+_EPOCH_LOG = {}
+
+
+class DeferredMemory:
+    """The sanctioned shard-side sentinel: mirrors read, NOT prefetch."""
+
+    def __init__(self):
+        self.reads = []
+
+    def read(self, addr):
+        self.reads.append(addr)
+        return 0
+
+
+class MemoryModel:
+    """Coordinator-owned shared memory model."""
+
+    def read(self, addr):
+        return addr
+
+    def write(self, addr, value):
+        return value
+
+    def prefetch(self, addr):  # no sentinel mirror -> unmirrored seam
+        return addr
+
+
+class L1:
+    def __init__(self, memsys):
+        self.memsys = memsys  # untyped seam: MemoryModel or DeferredMemory
+
+    def touch(self, addr):
+        value = self.memsys.read(addr)  # duck, sanctioned: sentinel mirrors
+        self.memsys.prefetch(addr)  # PLANTED: iso-unmirrored-call
+        return value
+
+
+class _Shard:
+    def __init__(self):
+        self.l1 = L1(DeferredMemory())
+        self.mem = MemoryModel()  # PLANTED: iso-shared-call (instantiation)
+
+    def advance(self, cycles):
+        _EPOCH_LOG["last"] = cycles  # PLANTED: iso-global-write
+        self.l1.touch(cycles)
+        self.mem.write(cycles, 1)  # PLANTED: iso-shared-call (typed call)
+        return cycles

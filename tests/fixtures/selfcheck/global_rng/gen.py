@@ -1,0 +1,17 @@
+"""Planted determinism violations: module-global RNG draws."""
+
+import random
+
+import numpy as np
+
+
+def pick(items):
+    random.shuffle(items)  # PLANTED: det-global-rng (stdlib global)
+    noise = np.random.rand()  # PLANTED: det-global-rng (legacy numpy global)
+    return items, noise
+
+
+def seeded_ok(seed):
+    rng = random.Random(seed)  # fine: instance RNG
+    gen = np.random.default_rng(seed)  # fine: sanctioned constructor
+    return rng.random(), gen.random()

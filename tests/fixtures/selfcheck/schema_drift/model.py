@@ -1,0 +1,22 @@
+"""Planted schema drift: serializer and deserializer disagree on keys."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Rec:
+    alpha: int = 0
+    beta: int = 0
+    gamma: int = 0
+
+    def to_dict(self):
+        # PLANTED: schema-field-coverage ('gamma' silently dropped)
+        return {"alpha": self.alpha, "beta": self.beta}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            alpha=data["alpha"],
+            beta=data["missing"],  # PLANTED: schema-pair-drift
+            gamma=data.get("legacy", 0),  # PLANTED: schema-orphan-read
+        )

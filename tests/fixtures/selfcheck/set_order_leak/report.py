@@ -1,0 +1,15 @@
+"""Planted output-path nondeterminism: unordered-set iteration."""
+
+
+def write_report(rows):
+    seen = {row for row in rows}
+    lines = []
+    total = 0.0
+    for item in seen:  # PLANTED: det-set-iter (output root iterates a set)
+        lines.append(str(item))
+        total += item  # PLANTED: det-float-accum (order-dependent rounding)
+    return lines, total
+
+
+def helper_ok(rows):
+    return sorted({row for row in rows})  # fine: sorted before iteration

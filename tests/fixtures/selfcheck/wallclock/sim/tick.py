@@ -1,0 +1,10 @@
+"""Planted determinism violations inside a simulator-path module."""
+
+import os
+import time
+
+
+def step(budget):
+    started = time.time()  # PLANTED: det-wallclock
+    debug = os.environ.get("REPRO_DEBUG")  # PLANTED: det-env-read
+    return started, debug, budget

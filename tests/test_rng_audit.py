@@ -1,60 +1,35 @@
 """RNG determinism audit.
 
-Two layers: a source scan that forbids module-global RNG use anywhere in
-``src/repro`` (every stochastic component must thread an explicitly
-seeded ``random.Random`` / ``np.random.default_rng``), and a behavioural
-check that two fuzz campaigns with the same seed produce identical
-corpora and verdicts.
+Two layers: the ``selfcheck`` static analyzer's determinism rules forbid
+module-global RNG use anywhere in ``src/repro`` (every stochastic
+component must thread an explicitly seeded ``random.Random`` /
+``np.random.default_rng``), and a behavioural check that two fuzz
+campaigns with the same seed produce identical corpora and verdicts.
+
+The old line-regex scanner this file used to carry lives on as the
+AST-based ``det-global-rng`` rule (``repro/selfcheck/determinism.py``),
+which also catches aliased imports (``from random import shuffle``) and
+is exercised against planted violations in
+``tests/test_selfcheck_fixtures.py``.
 """
 
-import re
 from pathlib import Path
 
 from repro.fuzz.campaign import run_campaign
 from repro.fuzz.generator import generate_spec, spec_fingerprint
+from repro.selfcheck import run_selfcheck
 
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
-# Module-level stdlib RNG calls draw from the interpreter-global
-# generator; any of these would make results depend on import order.
-_GLOBAL_STDLIB_RNG = re.compile(
-    r"\brandom\.(random|randint|randrange|choice|choices|uniform|"
-    r"shuffle|sample|seed|gauss|expovariate|betavariate)\s*\("
-)
 
-# numpy's legacy global generator; np.random.default_rng(seed) and the
-# Generator type are the only sanctioned entry points.
-_NUMPY_RANDOM = re.compile(r"\bnp\.random\.(\w+)")
-_NUMPY_ALLOWED = {"default_rng", "Generator"}
-
-
-def _source_files():
-    files = sorted(SRC.rglob("*.py"))
-    assert files, f"no sources under {SRC}"
-    return files
-
-
-def test_no_module_global_stdlib_rng():
-    offenders = []
-    for path in _source_files():
-        for lineno, line in enumerate(path.read_text().splitlines(), 1):
-            if _GLOBAL_STDLIB_RNG.search(line.split("#", 1)[0]):
-                offenders.append(f"{path}:{lineno}: {line.strip()}")
+def test_no_module_global_rng_anywhere():
+    report = run_selfcheck(SRC)
+    offenders = [f"{f.path}:{f.line}: {f.message}"
+                 for f in report.findings
+                 if f.rule == "det-global-rng" and f.active]
     assert not offenders, (
-        "module-global random.* calls (seed a random.Random instead):\n"
-        + "\n".join(offenders))
-
-
-def test_no_numpy_legacy_global_rng():
-    offenders = []
-    for path in _source_files():
-        for lineno, line in enumerate(path.read_text().splitlines(), 1):
-            for match in _NUMPY_RANDOM.finditer(line.split("#", 1)[0]):
-                if match.group(1) not in _NUMPY_ALLOWED:
-                    offenders.append(f"{path}:{lineno}: {line.strip()}")
-    assert not offenders, (
-        "legacy np.random.* global-state calls (use np.random.default_rng):\n"
-        + "\n".join(offenders))
+        "module-global RNG use (seed a random.Random / "
+        "np.random.default_rng instead):\n" + "\n".join(offenders))
 
 
 def test_generator_does_not_disturb_global_rng():
