@@ -814,6 +814,90 @@ def x4_prediction_table(cfg: GPUConfig | None = None, scale: float = 1.0,
 
 
 # ---------------------------------------------------------------------------
+# X6 — static cycle bounds: soundness, tightness, and co-residency
+# ---------------------------------------------------------------------------
+
+def x6_bound_table(cfg: GPUConfig | None = None, scale: float = 1.0):
+    """Sound [lo, hi] cycle intervals vs the simulator, plus pair verdicts.
+
+    The quantitative counterpart of X4: for every (kernel, gate arch,
+    mode) cell, :func:`repro.isa.analysis.bounds.bench_bounds` derives a
+    closed interval the simulated cycle count must fall into; the table
+    reports the measured count, containment, and the ``hi/lo`` tightness
+    ratio.  A second table summarizes the co-residency composer
+    (:func:`repro.isa.analysis.compose.pair_matrix`): admission verdicts
+    and contention reasons for every kernel pair on the primary arch.
+    ``repro bound --all --check`` gates the same containment in CI.
+
+    ``cfg`` overrides the gate arches with a single custom config.
+    """
+    from repro.isa.analysis.bounds import bench_bounds, gate_configs
+    from repro.isa.analysis.compose import pair_matrix
+
+    configs = {cfg.arch or "custom": cfg} if cfg is not None else gate_configs()
+    benches = sorted(all_benchmarks(), key=lambda b: b.name)
+
+    rows = []
+    cells = {}
+    violations = []
+    for arch, gate_cfg in configs.items():
+        for bench in benches:
+            for mode in ("baseline", "vt"):
+                kb = bench_bounds(bench, gate_cfg, mode=mode, scale=scale,
+                                  arch=arch)
+                record = run_benchmark(bench, gate_cfg.with_(arch=mode),
+                                       scale=scale)
+                cycles = record.stats.cycles
+                sound = kb.contains(cycles)
+                cells[(bench.name, arch, mode)] = {
+                    "lo": kb.lo, "hi": kb.hi, "sim": cycles,
+                    "sound": sound, "tightness": kb.tightness,
+                }
+                if not sound:
+                    violations.append((bench.name, arch, mode))
+                rows.append((bench.name, arch, mode, kb.lo, cycles, kb.hi,
+                             f"{kb.tightness:.1f}x",
+                             "yes" if sound else "NO"))
+    sound_count = sum(1 for c in cells.values() if c["sound"])
+    bound_report = format_table(
+        ("benchmark", "arch", "mode", "lo", "sim", "hi", "hi/lo", "sound"),
+        rows,
+        title=(f"X6 (validation) - static cycle bounds vs simulator "
+               f"({sound_count}/{len(cells)} cells contained)"),
+    )
+
+    pair_arch, pair_cfg = next(iter(configs.items()))
+    verdicts = pair_matrix(benches, pair_cfg, scale=scale, arch=pair_arch)
+    counts = {}
+    reason_hist = {}
+    for v in verdicts:
+        counts[v.verdict] = counts.get(v.verdict, 0) + 1
+        for reason in v.reasons:
+            reason_hist[reason] = reason_hist.get(reason, 0) + 1
+    pair_rows = ([(k, str(n)) for k, n in sorted(counts.items())]
+                 + [(f"reason: {k}", str(n))
+                    for k, n in sorted(reason_hist.items())])
+    pair_report = format_table(
+        ("verdict / contention reason", "pairs"),
+        pair_rows,
+        title=(f"X6 (co-residency) - {len(verdicts)} kernel-pair verdicts "
+               f"on {pair_arch}"),
+    )
+    parts = [bound_report, "", pair_report]
+    if violations:
+        parts.append("")
+        parts.append("VIOLATIONS (the bound gate fails):")
+        for name, arch, mode in violations:
+            cell = cells[(name, arch, mode)]
+            parts.append(f"  {name}/{arch}/{mode}: sim {cell['sim']} "
+                         f"outside [{cell['lo']}, {cell['hi']}]")
+    data = {"cells": cells, "violations": violations,
+            "pair_verdicts": verdicts, "verdict_counts": counts,
+            "reason_counts": reason_hist}
+    return "\n".join(parts), data
+
+
+# ---------------------------------------------------------------------------
 # doctor — sanitizer-on smoke sweep (the `repro doctor` subcommand)
 # ---------------------------------------------------------------------------
 
@@ -973,4 +1057,5 @@ ALL_EXPERIMENTS = {
     "X2": x2_kepler,
     "X3": x3_full_chip,
     "X4": x4_prediction_table,
+    "X6": x6_bound_table,
 }

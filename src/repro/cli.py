@@ -525,6 +525,120 @@ def cmd_predict(args) -> int:
     return 0
 
 
+def cmd_bound(args) -> int:
+    import json
+
+    from repro.isa.analysis.bounds import (IrregularControlFlow,
+                                           UnboundedLoop, bench_bounds,
+                                           gate_configs)
+
+    if args.all and args.benchmark:
+        print("error: pass either --all or a benchmark name, not both",
+              file=sys.stderr)
+        return 2
+    benches = ([get(args.benchmark)] if args.benchmark
+               else sorted(all_benchmarks(), key=lambda b: b.name))
+    configs = gate_configs(args.sms)
+
+    if args.pairs:
+        from repro.isa.analysis.compose import pair_matrix
+
+        arch, cfg = next(iter(configs.items()))
+        verdicts = pair_matrix(benches, cfg, mode=args.mode,
+                               scale=args.scale, arch=arch)
+        if args.format == "json":
+            print(json.dumps([v.to_dict() for v in verdicts], indent=2))
+            return 0
+        rows = [(v.a, v.b, v.verdict, f"{v.ctas_a}+{v.ctas_b}",
+                 f"[{v.slowdown_a[0]:.2f}, {v.slowdown_a[1]:.2f}]",
+                 f"[{v.slowdown_b[0]:.2f}, {v.slowdown_b[1]:.2f}]",
+                 ", ".join(v.reasons) or "-")
+                for v in verdicts]
+        counts = {}
+        for v in verdicts:
+            counts[v.verdict] = counts.get(v.verdict, 0) + 1
+        print(format_table(
+            ("a", "b", "verdict", "ctas/SM", "slowdown a", "slowdown b",
+             "reasons"),
+            rows, title=f"co-residency verdicts ({arch}, {args.mode})"))
+        print("\n" + "  ".join(f"{k}: {v}" for k, v in sorted(counts.items())))
+        return 0
+
+    cells = []
+    problems = []
+    for arch, cfg in configs.items():
+        for bench in benches:
+            for mode in ("baseline", "vt"):
+                try:
+                    kb = bench_bounds(bench, cfg, mode=mode,
+                                      scale=args.scale, arch=arch)
+                except (UnboundedLoop, IrregularControlFlow) as exc:
+                    problems.append((arch, bench.name, mode, str(exc)))
+                    continue
+                record = kb.to_dict()
+                if args.check:
+                    # Soundness gate: the simulated cycle count must fall
+                    # inside the static interval, and no cell may be the
+                    # trivial [<=1, >=budget] interval.
+                    try:
+                        res = run_benchmark(bench, cfg.with_(arch=mode),
+                                            scale=args.scale)
+                        cycles = res.stats.cycles
+                    except Exception as exc:  # sim failure, not a bound bug
+                        record["sim_error"] = str(exc)
+                        if args.strict:
+                            problems.append(
+                                (arch, bench.name, mode, f"sim: {exc}"))
+                        cells.append(record)
+                        continue
+                    record["sim_cycles"] = cycles
+                    record["sound"] = kb.contains(cycles)
+                    record["trivial"] = kb.lo <= 1 or kb.hi >= cfg.max_cycles
+                    if not record["sound"]:
+                        problems.append(
+                            (arch, bench.name, mode,
+                             f"sim {cycles} outside [{kb.lo}, {kb.hi}]"))
+                    if record["trivial"]:
+                        problems.append(
+                            (arch, bench.name, mode,
+                             f"trivial interval [{kb.lo}, {kb.hi}]"))
+                cells.append(record)
+
+    if args.format == "json":
+        print(json.dumps({"cells": cells,
+                          "problems": [list(p) for p in problems]},
+                         indent=2))
+        return 1 if problems else 0
+
+    headers = ["kernel", "arch", "mode", "lo", "hi", "tightness"]
+    if args.check:
+        headers += ["sim", "sound"]
+    rows = []
+    for record in cells:
+        row = [record["kernel"], record["arch"], record["mode"],
+               record["lo"], record["hi"], f'{record["tightness"]:.1f}x']
+        if args.check:
+            row += [record.get("sim_cycles", record.get("sim_error", "-")),
+                    {True: "yes", False: "NO"}.get(record.get("sound"), "-")]
+        rows.append(tuple(row))
+    print(format_table(tuple(headers), rows,
+                       title="static total-cycle bounds"
+                             + (" (soundness gate)" if args.check else "")))
+    if problems:
+        print(f"\nFAIL ({len(problems)} problem(s)):", file=sys.stderr)
+        for arch, name, mode, why in problems:
+            print(f"  {name}/{arch}/{mode}: {why}", file=sys.stderr)
+        return 1
+    if args.check:
+        checked = [r for r in cells if "sim_cycles" in r]
+        worst = max(checked, key=lambda r: r["tightness"], default=None)
+        print(f"\nOK: {len(checked)} cell(s) sound"
+              + (f"; worst tightness {worst['tightness']:.1f}x "
+                 f"({worst['kernel']}/{worst['arch']}/{worst['mode']})"
+                 if worst else ""))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -765,6 +879,40 @@ def build_parser() -> argparse.ArgumentParser:
     pred_p.add_argument("--format", choices=("table", "json"), default="table",
                         help="machine-readable JSON instead of tables")
     pred_p.set_defaults(fn=cmd_predict)
+
+    bound_p = sub.add_parser(
+        "bound", help="sound static [lo, hi] total-cycle bounds per "
+                      "kernel x arch x mode, plus co-residency pair "
+                      "verdicts (--pairs)")
+    bound_p.add_argument("benchmark", nargs="?", default=None,
+                         help="benchmark to bound (default: every registry "
+                              "kernel)")
+    bound_p.add_argument("--all", action="store_true",
+                         help="bound every registry kernel (the default "
+                              "when no benchmark is named)")
+    bound_p.add_argument("--check", action="store_true",
+                         help="soundness gate: simulate each cell and fail "
+                              "unless its cycle count falls inside the "
+                              "static interval (and no interval is trivial)")
+    bound_p.add_argument("--pairs", action="store_true",
+                         help="co-residency composer: admit/degrade/deny "
+                              "verdicts with slowdown bounds for every "
+                              "kernel pair")
+    bound_p.add_argument("--mode", choices=("baseline", "vt"),
+                         default="baseline",
+                         help="scheduling mode for --pairs (bounds tables "
+                              "always cover both modes)")
+    bound_p.add_argument("--strict", action="store_true",
+                         help="with --check: also fail on simulation "
+                              "errors (otherwise reported and skipped)")
+    bound_p.add_argument("--scale", type=positive_float, default=1.0)
+    bound_p.add_argument("--sms", type=positive_int, default=None,
+                         help="restrict to one scaled-Fermi config with N "
+                              "SMs (default: the three gate arches)")
+    bound_p.add_argument("--format", choices=("table", "json"),
+                         default="table",
+                         help="machine-readable JSON instead of tables")
+    bound_p.set_defaults(fn=cmd_bound)
 
     self_p = sub.add_parser(
         "selfcheck", help="static analyzer over the simulator's own "

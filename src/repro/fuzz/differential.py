@@ -18,7 +18,13 @@ For one spec, :func:`run_case` runs the full cross product:
   compared bit-exactly (``NaN`` positions included);
 * **static oracle**: the performance oracle's idle-class prediction is
   compared against the measured idle breakdown (recorded always;
-  enforced when ``oracle="check"``).
+  enforced when ``oracle="check"``);
+* **cycle bounds**: per architecture, the reference leg's total cycle
+  count must fall inside the sound static interval from
+  :func:`repro.isa.analysis.bounds.kernel_bounds` — *hard-enforced*:
+  a count outside ``[lo, hi]`` is a ``bound`` divergence.  A kernel the
+  bound analyzer declines (unresolvable loop) skips the leg with status
+  ``"unbounded"``; an analyzer *crash* is itself a divergence.
 
 The simulated :class:`~repro.sim.config.GPUConfig` is *sampled* per seed
 (:func:`sample_config`): SM count, warp scheduler, CTA dispatch order,
@@ -52,7 +58,7 @@ ARCHS = ("baseline", "vt")
 
 #: Divergence kinds, roughly ordered by severity.
 KINDS = ("lint", "reference-crash", "crash", "sanitizer", "stats-mismatch",
-         "output-mismatch", "oracle-idle")
+         "output-mismatch", "bound", "oracle-idle")
 
 
 def sample_config(seed: int, version: int = 1) -> GPUConfig:
@@ -194,6 +200,14 @@ def run_case(spec: dict, cfg: GPUConfig | None = None, *,
             "reference-crash", "case", f"{type(exc).__name__}: {exc}"))
         return result
 
+    # Launch-parameter values (non-pointer params) let the bound leg
+    # resolve parameter-valued loop bounds, mirroring perf.layout_for.
+    buffer_bases = {base for base, _nbytes in gmem._buffers.values()}
+    param_values = {i: int(p) for i, p in enumerate(params)
+                    if p not in buffer_bases}
+    gx, gy, gz = case.grid_dim
+    ctas = gx * gy * gz
+
     def launch(leg: str, run_cfg: GPUConfig, faults=None):
         """One simulation leg; returns (stats_dict, data) or (None, None)."""
         fresh, fresh_params = case.make_gmem(line_bytes=run_cfg.line_bytes)
@@ -251,6 +265,35 @@ def run_case(spec: dict, cfg: GPUConfig | None = None, *,
                 result.divergences.append(Divergence(
                     "output-mismatch", f"{arch}/{leg}",
                     _output_diff(data, expected)))
+
+        # -- static cycle bounds vs measurement (hard-enforced) -----------
+        if ref_stats is not None:
+            from repro.isa.analysis.bounds import (IrregularControlFlow,
+                                                   UnboundedLoop,
+                                                   kernel_bounds)
+
+            try:
+                kb = kernel_bounds(case.kernel, base, mode=arch, ctas=ctas,
+                                   param_values=param_values)
+            except (UnboundedLoop, IrregularControlFlow) as exc:
+                kb = None
+                result.legs[f"{arch}/bound"] = {"status": "unbounded",
+                                                "cycles": None,
+                                                "detail": str(exc)}
+            except Exception as exc:  # noqa: BLE001 - analyzer crash is a finding
+                kb = None
+                result.divergences.append(Divergence(
+                    "bound", f"{arch}/bound",
+                    f"bound analyzer crashed: {type(exc).__name__}: {exc}"))
+            if kb is not None:
+                cycles = result.legs[f"{arch}/reference"]["cycles"]
+                result.legs[f"{arch}/bound"] = {
+                    "status": "ok" if kb.contains(cycles) else "violated",
+                    "cycles": cycles, "lo": kb.lo, "hi": kb.hi}
+                if not kb.contains(cycles):
+                    result.divergences.append(Divergence(
+                        "bound", f"{arch}/bound",
+                        f"simulated {cycles} outside [{kb.lo}, {kb.hi}]"))
 
         # -- static oracle vs measurement ---------------------------------
         if ref_stats is not None:

@@ -71,6 +71,11 @@ class AccessCost:
     analyzable: bool  # False: TOP/unknown per-lane structure
     exact: bool
     predicated: bool
+    #: How the bounds were established: "affine" (fixpoint form, a
+    #: tid-partitioned stream), "unroll" (exact per-occurrence addresses
+    #: from the bounded uniform unroll), "interval" (value-set width
+    #: only), or "unanalyzable" (conservative 1..lanes).
+    source: str = "affine"
 
     @property
     def expected(self) -> float:
@@ -140,23 +145,121 @@ def _unanalyzable(pc, space, kind, max_lanes, predicated) -> AccessCost:
     # Never silently coalesced: one transaction per lane in the worst case.
     return AccessCost(pc=pc, space=space, kind=kind, lo=1, hi=max_lanes,
                       full_lo=1, full_hi=max_lanes, analyzable=False,
-                      exact=False, predicated=predicated)
+                      exact=False, predicated=predicated,
+                      source="unanalyzable")
+
+
+def _occurrence_cost(kernel, pc, occurrences, space, kind, max_lanes,
+                     predicated, line_bytes, num_banks) -> AccessCost | None:
+    """Exact cost bounds from the bounded uniform unroll.
+
+    When the whole kernel executes as one concrete uniform trace
+    (:func:`repro.isa.analysis.unroll.unrolled_trace`), a loop-carried
+    address the fixpoint widened to TOP has an exact affine form at every
+    dynamic occurrence; the per-access cost bounds are then the min/max
+    over the occurrences actually executed.  Any unanalyzable occurrence
+    (TOP address, non-word-aligned lane spread) falls back to the caller's
+    conservative path.
+    """
+    if not occurrences:
+        return None  # site never executes in the trace: nothing to bound
+    full_lo = full_hi = None
+    divergent = predicated
+    for occ in occurrences:
+        address = occ.address
+        if is_top(address):
+            return None
+        rel_warps = _relative_lane_addresses(address, kernel.cta_dim)
+        base = rel_warps[0][0] if rel_warps and len(rel_warps[0]) else 0
+        if any(((rel - base) % WORD).any() for rel in rel_warps):
+            return None
+        shifted = bool(address.uni) or address.fuzzy
+        if space == "global":
+            lo, hi = _global_cost(rel_warps, line_bytes, shifted)
+        else:
+            lo, hi = _shared_cost(rel_warps, num_banks)
+        full_lo = lo if full_lo is None else min(full_lo, lo)
+        full_hi = hi if full_hi is None else max(full_hi, hi)
+        divergent = divergent or occ.predicated
+    exact = full_lo == full_hi and not divergent
+    return AccessCost(pc=pc, space=space, kind=kind,
+                      lo=1 if divergent else full_lo, hi=full_hi,
+                      full_lo=full_lo, full_hi=full_hi, analyzable=True,
+                      exact=exact, predicated=predicated, source="unroll")
+
+
+def _interval_cost(kernel, pc, instr, intervals, space, kind, max_lanes,
+                   predicated, line_bytes, num_banks) -> AccessCost | None:
+    """Tightened worst-case cost for a non-affine but *bounded* address.
+
+    The interval pass (:mod:`repro.isa.analysis.interval`) splits the
+    address into an affine base plus a residual interval of width ``w``.
+    Every lane's address then lives in a window of
+    ``(base lane spread) + w + WORD`` bytes whose alignment is unknown, so
+    the access can touch at most ``(L - 1) // line + 2`` cache lines (a
+    window of length ``L`` straddles one extra line in the worst case) and
+    at most ``ceil(words_in_window / num_banks)`` same-bank shared words.
+    The lower bound stays 1: a value-set says nothing about how *few*
+    distinct lines the lanes hit.
+    """
+    ianalysis, ienvs = intervals
+    env = ienvs[pc]
+    if env is None:
+        return None
+    ival = ianalysis.address(pc, env)
+    if is_top(ival.base) or not (ival.rlo > -np.inf and ival.rhi < np.inf):
+        return None
+    width = float(ival.rhi - ival.rlo)
+    rel_warps = _relative_lane_addresses(ival.base, kernel.cta_dim)
+    hi = None
+    for rel in rel_warps:
+        if len(rel) == 0:
+            continue
+        window = float(rel.max() - rel.min()) + width + WORD
+        if space == "global":
+            count = min(len(rel), int((window - 1) // line_bytes) + 2)
+        else:
+            words = int((window - 1) // WORD) + 2
+            count = min(len(rel), -(-words // num_banks))
+        hi = count if hi is None else max(hi, count)
+    if hi is None or hi >= max_lanes:
+        return None  # no tighter than the conservative bound
+    return AccessCost(pc=pc, space=space, kind=kind, lo=1, hi=hi,
+                      full_lo=1, full_hi=hi, analyzable=False,
+                      exact=False, predicated=predicated, source="interval")
 
 
 def access_costs(kernel, cfg_view: CFGView | None = None,
                  affine: AffineAnalysis | None = None, envs: list | None = None,
-                 *, line_bytes: int = 128, num_banks: int = 32) -> list[AccessCost]:
+                 *, line_bytes: int = 128, num_banks: int = 32,
+                 intervals=None, param_values: dict | None = None,
+                 unroll: bool = True) -> list[AccessCost]:
     """Static cost bounds for every reachable memory-access site.
 
     ``line_bytes``/``num_banks`` default to the simulator's Fermi-class
     values (:class:`repro.sim.config.GPUConfig`); pass the config's
     values to analyze other geometries.
+
+    Two refinements tighten sites the affine fixpoint calls TOP, tried in
+    order of precision:
+
+    * ``unroll`` — the bounded uniform unroll
+      (:mod:`repro.isa.analysis.unroll`) re-executes uniform control flow
+      concretely, giving *exact* per-occurrence costs for loop-carried
+      tile/ping-pong addresses; ``param_values`` lets parameter-valued
+      loop bounds resolve.
+    * ``intervals`` — an ``(analysis, envs)`` pair from
+      :func:`repro.isa.analysis.interval.interval_solution` bounds the
+      worst case when the value-set is provably narrow (masked gathers,
+      small atomic tables) even though per-lane structure is unknown.
     """
     cfg_view = cfg_view or CFGView(kernel.instrs)
     if affine is None or envs is None:
         affine, envs = affine_solution(kernel, cfg_view)
     threads = kernel.threads_per_cta
     max_lanes = min(WARP, threads)
+    trace = False  # computed lazily on the first TOP-address site
+    occurrences: dict[int, list] = {}
     costs: list[AccessCost] = []
     for pc, instr in enumerate(kernel.instrs):
         if not instr.info.is_mem or not cfg_view.pc_reachable(pc):
@@ -170,7 +273,24 @@ def access_costs(kernel, cfg_view: CFGView | None = None,
             continue
         address = affine.address(pc, env)
         if is_top(address):
-            costs.append(_unanalyzable(pc, space, kind, max_lanes, predicated))
+            cost = None
+            if unroll:
+                if trace is False:
+                    from repro.isa.analysis.unroll import unrolled_trace
+
+                    trace = unrolled_trace(kernel, param_values=param_values)
+                    for occ in trace or ():
+                        occurrences.setdefault(occ.pc, []).append(occ)
+                if trace is not None:
+                    cost = _occurrence_cost(kernel, pc, occurrences.get(pc),
+                                            space, kind, max_lanes, predicated,
+                                            line_bytes, num_banks)
+            if cost is None and intervals is not None:
+                cost = _interval_cost(kernel, pc, instr, intervals, space,
+                                      kind, max_lanes, predicated,
+                                      line_bytes, num_banks)
+            costs.append(cost if cost is not None else
+                         _unanalyzable(pc, space, kind, max_lanes, predicated))
             continue
         rel_warps = _relative_lane_addresses(address, kernel.cta_dim)
         # A uniform base shifts every lane equally; lane *differences* must

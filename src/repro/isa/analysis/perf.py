@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 from repro.core.occupancy import OccupancyResult, occupancy
 from repro.isa.analysis.affine import affine_solution, is_top
 from repro.isa.analysis.dataflow import CFGView
+from repro.isa.analysis.interval import interval_solution
 from repro.isa.analysis.memaccess import AccessCost, access_costs
 from repro.isa.instruction import Imm, MemRef, Reg
 from repro.isa.opcodes import Op, OpClass
@@ -101,6 +102,12 @@ DRAM_EXCESS = 4.0
 #: SFU-pipeline pressure (relative to the issue bound) that surfaces as
 #: structural idle once memory latency is hidden.
 SFU_SURFACE = 0.6
+
+#: The dependence-residual rule calls the hidden-latency residue
+#: compute-class only when the scan set's short-stall mass *clearly
+#: dominates* the cold-start miss — at parity the simulator's dead
+#: cycles still trace back to the first round trip (mem).
+ALU_RESIDUAL = 2.0
 
 #: Trace-length safety cap (instructions) for pathological loop nests.
 MAX_TRACE = 60_000
@@ -472,7 +479,10 @@ def _latency_classes(kernel, cfg: GPUConfig, layout: KernelLayout | None,
             touches[p] = (touches.get(p, 0.0)
                           + site_weight.get(pc, 0) * layout.total_threads)
             cost = costs.get(pc)
-            part = bool(cost and cost.analyzable)
+            # Only the fixpoint-affine form implies a tid-partitioned
+            # stream; an unroll-refined loop-carried walk still sweeps
+            # the whole buffer from every SM.
+            part = bool(cost and cost.analyzable and cost.source == "affine")
             partitioned[p] = partitioned.get(p, True) and part
     for pc, instr in enumerate(kernel.instrs):
         if not instr.is_global_mem:
@@ -506,13 +516,18 @@ def _model_tx(cost: AccessCost | None, tainted_addr: bool, sparse: bool,
               max_lanes: int) -> float:
     if cost is None:
         return 1.0
-    if cost.analyzable:
+    if cost.analyzable and cost.source == "affine":
         return cost.expected
     if tainted_addr and not sparse:
         est = TX_EST_GATHER
     else:
         est = TX_EST_ARITH
-    return min(float(max_lanes), max(1.0, est))
+    # The unroll/interval refinements may have proven a tighter worst
+    # case than one transaction per lane; never estimate above a proven
+    # bound.  (The refined *expected* value is deliberately not used for
+    # globals: the estimate also stands in for L1-sector and row-buffer
+    # effects the exact line count does not see.)
+    return min(float(max_lanes), float(cost.full_hi), max(1.0, est))
 
 
 def _line_clusters(kernel, cfg: GPUConfig, site_param: dict[int, int],
@@ -546,9 +561,11 @@ def warp_profile(kernel, cfg: GPUConfig,
     """Summarize one warp's loop-expanded execution for the model."""
     cfg_view = CFGView(kernel.instrs)
     affine, envs = affine_solution(kernel, cfg_view)
+    ianalysis, ienvs = interval_solution(kernel, cfg_view)
     costs = {c.pc: c for c in access_costs(
         kernel, cfg_view, affine, envs, line_bytes=cfg.line_bytes,
-        num_banks=cfg.shared_mem_banks)}
+        num_banks=cfg.shared_mem_banks, intervals=(ianalysis, ienvs),
+        param_values=layout.param_values if layout else None)}
     tainted = _taint_regs(kernel, cfg_view)
     trips = _loop_trip_counts(kernel, envs,
                               layout.param_values if layout else None)
@@ -644,7 +661,8 @@ def warp_profile(kernel, cfg: GPUConfig,
         elif cls is OpClass.MEM_SHARED:
             n_shared += 1
             passes = (cost.expected if cost and cost.analyzable
-                      else PASSES_EST_UNKNOWN)
+                      else min(PASSES_EST_UNKNOWN, float(cost.hi))
+                      if cost else PASSES_EST_UNKNOWN)
             passes = max(1.0, passes)
             smem += passes
             ph_smem += passes
@@ -827,7 +845,7 @@ def classify_idle(profile: WarpProfile, bounds: dict[str, float],
     if bounds["dram"] >= DRAM_EXCESS * issue:
         return "mem", "dram-bandwidth"
 
-    if profile.alu_taint * active >= max(float(profile.cold_lat), 1.0):
+    if profile.alu_taint * active >= ALU_RESIDUAL * max(float(profile.cold_lat), 1.0):
         return "alu", "dependence-residual"
     return "mem", "cold-start"
 

@@ -185,8 +185,19 @@ def _box_max(tid: tuple, cta_dim) -> float:
     return sum(max(0.0, coef * (extents.get(sym, 1) - 1)) for sym, coef in tid)
 
 
-def races(kernel, cfg: CFGView, accesses: list[SharedAccess]) -> list[SharedRace]:
-    """Conflicting shared access pairs with a barrier-free path between."""
+def races(kernel, cfg: CFGView, accesses: list[SharedAccess],
+          *, unroll_budget: int | None = None) -> list[SharedRace]:
+    """Conflicting shared access pairs with a barrier-free path between.
+
+    Unproven (``maybe``) pairs get a second chance through the bounded
+    uniform unroller (:mod:`repro.isa.analysis.unroll`): when the whole
+    kernel executes as one concrete uniform trace, loop-carried ping-pong
+    or tile offsets the fixpoint widens away become exact per-iteration
+    addresses, and a pair whose same-barrier-epoch occurrences are all
+    provably disjoint is dropped.  An exhausted unroll budget (or any
+    other failure to unroll) keeps the finding at ``maybe`` — never a
+    silent ``safe``.
+    """
     if len(accesses) == 0:
         return []
     by_pc = {access.pc: access for access in accesses}
@@ -211,4 +222,12 @@ def races(kernel, cfg: CFGView, accesses: list[SharedAccess]) -> list[SharedRace
             reported.add(key)
             findings.append(SharedRace(pc_a=key[0], pc_b=key[1],
                                        proven=overlap is True))
+    maybes = [(f.pc_a, f.pc_b) for f in findings if not f.proven]
+    if maybes:
+        from repro.isa.analysis.unroll import UNROLL_BUDGET, discharge_shared_races
+
+        budget = UNROLL_BUDGET if unroll_budget is None else unroll_budget
+        cleared = discharge_shared_races(kernel, maybes, budget)
+        findings = [f for f in findings
+                    if f.proven or (f.pc_a, f.pc_b) not in cleared]
     return findings

@@ -54,6 +54,20 @@ class GlobalMemory:
     def base(self, name: str) -> int:
         return self._buffers[name][0]
 
+    def clone(self) -> "GlobalMemory":
+        """Private copy of the full memory image (data and allocation map).
+
+        Mirrors the copy-on-write image a forked shard worker inherits, so
+        in-process shards can run on isolated images when forking is
+        unavailable."""
+        twin = GlobalMemory.__new__(GlobalMemory)
+        twin.size_bytes = self.size_bytes
+        twin.line_bytes = self.line_bytes
+        twin.data = self.data.copy()
+        twin._next_free = self._next_free
+        twin._buffers = dict(self._buffers)
+        return twin
+
     def write(self, name: str, values) -> None:
         base, nbytes = self._buffers[name]
         arr = np.asarray(values, dtype=np.float64).ravel()

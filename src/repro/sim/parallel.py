@@ -752,18 +752,31 @@ class _Coordinator:
         self.memsys = MemoryModel(cfg)
         self.tracker = ProgressTracker(cfg.progress_window)
         num_shards = min(cfg.sim_jobs, cfg.num_sms)
-        self.fork = num_shards > 1
+        # Multiple shards run on private memory images (merged at epoch
+        # boundaries) whether they live in forked workers or in-process.
+        self.private = num_shards > 1
         self.drivers: list = []
-        if self.fork:
+        if num_shards > 1:
             import multiprocessing
 
-            try:
-                ctx = multiprocessing.get_context("fork")
-            except ValueError as exc:  # platform without fork
-                raise SerialFallback(f"fork backend unavailable: {exc}")
+            ctx = None
+            if not multiprocessing.current_process().daemon:
+                try:
+                    ctx = multiprocessing.get_context("fork")
+                except ValueError:  # platform without fork
+                    ctx = None
             for i, sm_ids in enumerate(_partition(cfg.num_sms, num_shards)):
-                shard = _Shard(cfg, kernel, grid, params, sm_ids, gmem)
-                self.drivers.append(_ForkDriver(ctx, shard, i))
+                if ctx is not None:
+                    shard = _Shard(cfg, kernel, grid, params, sm_ids, gmem)
+                    self.drivers.append(_ForkDriver(ctx, shard, i))
+                else:
+                    # No fork backend, or we are a daemonic worker that may
+                    # not spawn children: drive the same shard partition
+                    # in-process, each shard on a private memory clone (the
+                    # copy a fork would have given it).
+                    shard = _Shard(cfg, kernel, grid, params, sm_ids,
+                                   gmem.clone())
+                    self.drivers.append(_InlineDriver(shard))
         else:
             shard = _Shard(cfg, kernel, grid, params,
                            list(range(cfg.num_sms)), gmem)
@@ -1020,7 +1033,7 @@ class _Coordinator:
         return atomics
 
     def _apply_boundary(self, payloads, atomics_global) -> None:
-        if self.fork:
+        if self.private:
             # Commit the epoch to the master image: peer-disjoint plain
             # writes (any cross-SM order; in-order per SM) then every
             # global atomic in serial order (their words are disjoint from
@@ -1037,7 +1050,7 @@ class _Coordinator:
             own = set(d.sm_ids)
             acts = {sm_id: self._actuals.get(sm_id, [])
                     for sm_id in own}
-            if self.fork:
+            if self.private:
                 peers = [entry
                          for q in payloads
                          for sm_id, log in q["write_log"].items()

@@ -111,7 +111,8 @@ def test_e11_overhead_report():
 
 
 def test_registry_complete():
-    expected = {f"E{i}" for i in range(1, 13)} | {"X1", "X2", "X3", "X4"}
+    expected = {f"E{i}" for i in range(1, 13)} | {"X1", "X2", "X3", "X4",
+                                                  "X6"}
     assert set(ex.ALL_EXPERIMENTS) == expected
 
 

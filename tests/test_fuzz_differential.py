@@ -19,8 +19,13 @@ def test_clean_case_runs_every_leg():
     assert result.ok, result.summary()
     assert set(result.legs) == {
         f"{arch}/{leg}" for arch in ("baseline", "vt")
-        for leg in ("reference", "fast-forward", "sanitize", "parallel")}
+        for leg in ("reference", "fast-forward", "sanitize", "parallel",
+                    "bound")}
     assert all(info["status"] == "ok" for info in result.legs.values())
+    # The bound leg carries the static interval the measurement fell in.
+    for arch in ("baseline", "vt"):
+        info = result.legs[f"{arch}/bound"]
+        assert info["lo"] <= info["cycles"] <= info["hi"]
     assert result.instructions > 0
     assert result.ref_stats is not None
     # The oracle prediction is recorded for both architectures.

@@ -104,6 +104,9 @@ def test_reg_oob_fires_on_post_construction_mutation():
 
 def test_unprovable_race_is_info_not_error():
     # Loop-carried (fuzzy) shared addresses: reported, but must not fail.
+    # The trip count is a launch parameter so the bounded unroller cannot
+    # concretize the loop either (a constant bound would now be discharged
+    # by repro.isa.analysis.unroll).
     text = """
 .kernel pingpong
 .regs 8
@@ -112,12 +115,13 @@ def test_unprovable_race_is_info_not_error():
     S2R r0, %tid_x
     SHL r1, r0, #2
     MOV r2, #0
+    S2R r5, %param0
 loop:
     LDS r3, [r1]
     STS [r1+128], r3
     IADD r1, r1, #128
     IADD r2, r2, #1
-    SETP.LT r4, r2, #2
+    SETP.LT r4, r2, r5
 @r4 BRA loop
     EXIT
 """
